@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs one experiment from
+:mod:`repro.analysis.experiments` exactly once (``benchmark.pedantic``
+with one round — the experiments are deterministic simulations, so
+statistical repetition only wastes time), asserts the paper's
+qualitative shape, and archives the human-readable report under
+``benchmarks/reports/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORTS_DIR.mkdir(exist_ok=True)
+    return REPORTS_DIR
+
+
+@pytest.fixture
+def record_report(report_dir):
+    """Save an experiment's report and echo it to the terminal."""
+
+    def _record(result):
+        path = report_dir / f"{result.experiment}.txt"
+        body = result.report
+        if result.notes:
+            body += f"\n  notes: {result.notes}"
+        body += f"\n  shape_holds: {result.shape_holds}\n"
+        path.write_text(body)
+        print()
+        print(body)
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,20 @@
+"""E2 — §5.1: BAT-mapping the kernel (kernel compile).
+
+Paper: TLB misses 219M -> 197M (-10%), hash misses 1M -> 813k (-20%),
+kernel TLB slots ~1/3 of the TLB -> at most 4, compile 10 -> 8 minutes.
+"""
+
+from conftest import run_once
+
+from repro.analysis import experiments
+
+
+def test_bat_kernel_mapping(benchmark, record_report):
+    result = run_once(benchmark, experiments.run_e2)
+    record_report(result)
+    assert result.shape_holds
+    # The TLB-miss reduction is in the paper's band (we allow down to
+    # -30%: the simulated kernel footprint is relatively larger).
+    assert 0.65 <= result.measured["tlb_ratio"] <= 0.99
+    # The kernel's TLB footprint collapses to the paper's "<= 4 slots".
+    assert result.measured["kernel_tlb_slots_after"] <= 4

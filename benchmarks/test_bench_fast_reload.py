@@ -1,0 +1,18 @@
+"""E4 — §6.1: hand-scheduled assembly miss handlers vs the C handlers.
+
+Paper: context switch -33%, communication latencies -15%, user
+wall-clock -15%.
+"""
+
+from conftest import run_once
+
+from repro.analysis import experiments
+
+
+def test_fast_reload_handlers(benchmark, record_report):
+    result = run_once(benchmark, experiments.run_e4)
+    record_report(result)
+    assert result.shape_holds
+    assert result.measured["ctxsw_ratio"] < 0.8
+    assert result.measured["pipe_latency_ratio"] < 0.92
+    assert result.measured["compile_ratio"] < 1.0

@@ -1,0 +1,18 @@
+"""E14 — §10.1 (future work): running the idle task cache-inhibited.
+
+The paper conjectures that uncaching (or locking the cache against) the
+idle task avoids evicting useful entries "just to speed up the idle
+task".  The ablation compares the cached-clearing idle task with and
+without ``idle_uncached``.
+"""
+
+from conftest import run_once
+
+from repro.analysis import experiments
+
+
+def test_uncached_idle_task_ablation(benchmark, record_report):
+    result = run_once(benchmark, experiments.run_e14)
+    record_report(result)
+    assert result.shape_holds
+    assert result.measured["busy_ratio"] < 1.0

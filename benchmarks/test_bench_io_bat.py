@@ -1,0 +1,16 @@
+"""E12 — §5.1: BAT-mapping the I/O space.
+
+Paper: "Using the BAT registers to map the I/O space did not improve
+these measures significantly" — I/O TLB entries are too rarely live.
+"""
+
+from conftest import run_once
+
+from repro.analysis import experiments
+
+
+def test_io_bat_no_significant_gain(benchmark, record_report):
+    result = run_once(benchmark, experiments.run_e12)
+    record_report(result)
+    assert result.shape_holds
+    assert 0.95 < result.measured["cycle_ratio"] < 1.02

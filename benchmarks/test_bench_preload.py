@@ -1,0 +1,18 @@
+"""E15 — §10.2 (future work): cache preloads in the switch path.
+
+The paper conjectures "significant gains with intelligent use of cache
+preloads in context switching and interrupt entry code"; the ablation
+measures a cache-cold context switch with and without dcbt-style
+preloads of the switch path's data.
+"""
+
+from conftest import run_once
+
+from repro.analysis import experiments
+
+
+def test_cache_preload_ablation(benchmark, record_report):
+    result = run_once(benchmark, experiments.run_e15)
+    record_report(result)
+    assert result.shape_holds
+    assert result.measured["ctxsw8_ratio"] < 0.99

@@ -1,0 +1,22 @@
+"""E9 — §8: cache misuse on page tables.
+
+Paper: the worst-case refill path makes 34 memory accesses and can
+create up to 18 new cache entries; uncaching the page tables removes
+that pollution.
+"""
+
+from conftest import run_once
+
+from repro.analysis import experiments
+
+
+def test_page_table_cache_pollution(benchmark, record_report):
+    result = run_once(benchmark, experiments.run_e9)
+    record_report(result)
+    assert result.shape_holds
+    assert 30 <= result.measured["worst_case_refs"] <= 36
+    assert 1 <= result.measured["new_cache_lines_per_refill"] <= 18
+    assert (
+        result.measured["storm_uncached_misses"]
+        < result.measured["storm_cached_misses"]
+    )

@@ -1,0 +1,21 @@
+"""E16 — §7's rejected design: on-demand zombie scavenging.
+
+"Performance would also be inconsistent if we had to occasionally scan
+the hash table and invalidate zombie PTEs when we needed more space" —
+the reason the reclaim moved into the idle task.  The ablation measures
+per-access latency under both designs on an eviction-pressured table:
+the means are similar, but the on-demand design's worst case spikes by
+an order of magnitude.
+"""
+
+from conftest import run_once
+
+from repro.analysis import experiments
+
+
+def test_on_demand_scavenge_is_inconsistent(benchmark, record_report):
+    result = run_once(benchmark, experiments.run_e16)
+    record_report(result)
+    assert result.shape_holds
+    assert result.measured["demand_worst"] > 3 * result.measured["idle_worst"]
+    assert result.measured["scavenge_bursts"] > 0

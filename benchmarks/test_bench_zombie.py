@@ -1,0 +1,25 @@
+"""E7 — §7: idle-task reclaim of zombie hash-table entries.
+
+Paper: without reclaim the table fills with valid-but-dead PTEs and the
+evict-to-reload ratio exceeds 90%; with the idle-task reclaim it falls
+to ~30%, live usage grows, and the hash hit rate reaches 98%.
+"""
+
+from conftest import run_once
+
+from repro.analysis import experiments
+
+
+def test_idle_zombie_reclaim(benchmark, record_report):
+    result = run_once(benchmark, experiments.run_e7)
+    record_report(result)
+    assert result.shape_holds
+    # The table really fills without reclaim ("very quickly the entire
+    # hash table fills up").
+    assert result.measured["valid_before"] > 0.85 * 16384
+    # Reclaim collapses the evict ratio.
+    assert (
+        result.measured["evict_ratio_after"]
+        < 0.5 * result.measured["evict_ratio_before"]
+    )
+    assert result.measured["zombies_reclaimed"] > 1000

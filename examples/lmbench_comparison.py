@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's three LmBench tables in one run.
+
+Prints Table 1 (hash table vs direct reloads on the 603), Table 2 (lazy
+range flushing), and Table 3 (Linux/PPC vs the other operating systems),
+with the paper's numbers alongside for comparison.
+
+This runs every LmBench point on twelve booted systems (~1-2 minutes).
+
+Run:  python examples/lmbench_comparison.py
+"""
+
+from repro.analysis import experiments
+
+
+def main():
+    for runner, header in (
+        (experiments.run_e5, "TABLE 1"),
+        (experiments.run_e6, "TABLE 2"),
+        (experiments.run_e11, "TABLE 3"),
+    ):
+        result = runner()
+        print(f"===== {header}: {result.title} =====")
+        print(result.report)
+        print(f"  paper shape holds: {result.shape_holds}")
+        if result.notes:
+            print(f"  note: {result.notes}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Command-line front end: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show the experiment registry (DESIGN.md's E1..E14 index).
+* ``run E6 E11 ...`` — run experiments and print their reports.
+* ``table1`` / ``table2`` / ``table3`` — shortcuts for the paper's tables.
+* ``machines`` — show the modelled machines and their derived timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments
+from repro.params import ALL_MACHINES
+
+
+def _cmd_list(_args) -> int:
+    for experiment_id in sorted(
+        experiments.REGISTRY, key=experiments._experiment_sort_key
+    ):
+        runner = experiments.REGISTRY[experiment_id]
+        doc = (runner.__doc__ or "").strip().splitlines()[0]
+        print(f"  {experiment_id:<4} {doc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    failed = []
+    for experiment_id in args.ids:
+        key = experiment_id.upper()
+        if key not in experiments.REGISTRY:
+            print(f"unknown experiment {experiment_id!r} "
+                  f"(try: python -m repro list)", file=sys.stderr)
+            return 2
+        result = experiments.REGISTRY[key]()
+        print(result.report)
+        if result.notes:
+            print(f"  notes: {result.notes}")
+        print(f"  shape_holds: {result.shape_holds}")
+        print()
+        if not result.shape_holds:
+            failed.append(key)
+    if failed:
+        print(f"paper shape did NOT hold for: {', '.join(failed)}")
+        return 1
+    return 0
+
+
+def _cmd_machines(_args) -> int:
+    print(f"{'machine':<14}{'walk':<10}{'TLB (I/D)':<12}{'L1 (I/D)':<12}"
+          f"{'L2':<8}{'line fill':<12}{'word'}")
+    for spec in ALL_MACHINES:
+        walk = "hardware" if spec.hardware_tablewalk else "software"
+        tlb = f"{spec.itlb_entries}/{spec.dtlb_entries}"
+        l1 = f"{spec.icache_bytes // 1024}K/{spec.dcache_bytes // 1024}K"
+        print(
+            f"{spec.name:<14}{walk:<10}{tlb:<12}{l1:<12}"
+            f"{spec.l2_bytes // 1024:>4}K   "
+            f"{spec.mem_cycles:>5} cyc   {spec.word_cycles:>4} cyc"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction of 'Optimizing the Idle Task and Other MMU "
+            "Tricks' (OSDI 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the experiment registry")
+    run = sub.add_parser("run", help="run experiments by id (e.g. E6 E11)")
+    run.add_argument("ids", nargs="+", metavar="EXPERIMENT")
+    sub.add_parser("table1", help="reproduce Table 1")
+    sub.add_parser("table2", help="reproduce Table 2")
+    sub.add_parser("table3", help="reproduce Table 3")
+    sub.add_parser("machines", help="show the modelled machines")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "machines":
+        return _cmd_machines(args)
+    shortcut = {"table1": "E5", "table2": "E6", "table3": "E11"}
+    return _cmd_run(argparse.Namespace(ids=[shortcut[args.command]]))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Parameter sweeps: the paper's tuning instruments, reusable.
+
+§5.2: "We tuned the VSID generation algorithm by making Linux keep a
+hash table miss histogram and adjusting the constant until hot-spots
+disappeared."  §7 tuned the range-flush cutoff the same way.  This
+module packages those sweeps so the tuning process itself is
+reproducible, not just its endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.kernel.config import KernelConfig, VsidPolicy
+from repro.params import M604_185, MachineSpec, PAGE_SIZE
+from repro.perf.histogram import occupancy_histogram
+from repro.sim.simulator import Simulator, boot
+from repro.workloads.lmbench import mmap_latency
+
+
+@dataclass
+class ScatterPoint:
+    """One VSID scatter constant's hash-table health."""
+
+    constant: int
+    occupancy: float
+    evicts: int
+    hot_spot_ratio: float
+    entropy: float
+
+    @property
+    def is_power_of_two(self) -> bool:
+        return self.constant & (self.constant - 1) == 0
+
+
+def _fill(sim: Simulator, processes: int, pages: int) -> None:
+    """Fault pages in many address spaces (mostly shared mappings)."""
+    kernel = sim.kernel
+    anon = max(pages // 6, 1)
+    shared = pages - anon
+    kernel.fs.create("sweep.so", shared * PAGE_SIZE, wired=True)
+    kernel.fs.prefault("sweep.so")
+    for index in range(processes):
+        task = kernel.spawn(f"s{index}", text_pages=4, data_pages=anon + 2)
+        kernel.switch_to(task)
+        for page in range(anon):
+            kernel.user_access(task, 0x10000000 + page * PAGE_SIZE, 1, True)
+        lib = kernel.sys_mmap(
+            task, shared * PAGE_SIZE, file="sweep.so", writable=False
+        )
+        for page in range(shared):
+            kernel.user_access(task, lib + page * PAGE_SIZE, 1, False)
+
+
+def sweep_vsid_scatter(
+    constants: Iterable[int],
+    processes: int = 24,
+    pages_per_process: int = 360,
+    spec: MachineSpec = M604_185,
+) -> List[ScatterPoint]:
+    """Measure hash-table health for each scatter constant (§5.2)."""
+    points = []
+    for constant in constants:
+        config = KernelConfig(
+            vsid_policy=VsidPolicy.PID_SCATTER,
+            vsid_scatter_constant=constant,
+            bat_kernel_map=True,
+        )
+        sim = boot(spec, config)
+        _fill(sim, processes, pages_per_process)
+        htab = sim.machine.htab
+        histogram = occupancy_histogram(htab)
+        points.append(
+            ScatterPoint(
+                constant=constant,
+                occupancy=htab.occupancy(),
+                evicts=htab.evicts,
+                hot_spot_ratio=histogram.hot_spot_ratio(),
+                entropy=histogram.entropy_efficiency(),
+            )
+        )
+    return points
+
+
+@dataclass
+class CutoffPoint:
+    """One range-flush cutoff's mmap latency."""
+
+    cutoff: Optional[int]
+    mmap_us: float
+
+
+def sweep_flush_cutoff(
+    cutoffs: Sequence[Optional[int]],
+    region_bytes: int = 4 * 1024 * 1024,
+    spec: MachineSpec = M604_185,
+) -> List[CutoffPoint]:
+    """lat_mmap across cutoffs; None means search-flushing (no lazy)."""
+    points = []
+    for cutoff in cutoffs:
+        if cutoff is None:
+            config = KernelConfig.optimized().with_changes(
+                lazy_vsid_flush=False, vsid_policy=VsidPolicy.PID_SCATTER
+            )
+        else:
+            config = KernelConfig.optimized().with_changes(
+                range_flush_cutoff=cutoff
+            )
+        latency = mmap_latency(
+            boot(spec, config), region_bytes=region_bytes, iterations=4
+        )
+        points.append(CutoffPoint(cutoff=cutoff, mmap_us=latency))
+    return points
+
+
+def ascii_bars(
+    labels: Sequence[str], values: Sequence[float], width: int = 40
+) -> str:
+    """A terminal bar chart (for the sweep examples)."""
+    peak = max(values) if values else 1.0
+    lines = []
+    label_width = max((len(label) for label in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(width * value / peak)) if peak else ""
+        lines.append(f"  {label:<{label_width}}  {bar} {value:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the MMU-tricks reproduction.
+
+Every error raised by the simulator derives from :class:`ReproError` so
+callers can catch simulation failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """A machine or kernel configuration is internally inconsistent."""
+
+
+class TranslationError(ReproError):
+    """An address could not be translated and no handler recovered it."""
+
+    def __init__(self, ea, message=""):
+        self.ea = ea
+        detail = message or "unhandled translation fault"
+        super().__init__(f"{detail} (ea=0x{ea:08x})")
+
+
+class ProtectionFault(TranslationError):
+    """Access violated page protection (e.g. write to read-only page)."""
+
+    def __init__(self, ea, message="protection fault"):
+        super().__init__(ea, message)
+
+
+class SegmentFault(TranslationError):
+    """Access hit a segment with no valid mapping context."""
+
+    def __init__(self, ea, message="segmentation fault"):
+        super().__init__(ea, message)
+
+
+class OutOfMemoryError(ReproError):
+    """The simulated physical page allocator is exhausted."""
+
+
+class KernelPanic(ReproError):
+    """An invariant the simulated kernel relies on was violated."""
+
+
+class SyscallError(ReproError):
+    """A simulated system call was invoked with invalid arguments."""
+
+    def __init__(self, name, message):
+        self.syscall = name
+        super().__init__(f"{name}: {message}")

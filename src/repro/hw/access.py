@@ -1,0 +1,17 @@
+"""Access kinds: instruction fetch vs data access.
+
+Separate module (rather than living in :mod:`repro.hw.machine`) so trace
+generators and workloads can import it without pulling in the full
+machine model.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessKind(enum.Enum):
+    """Instruction fetch vs data access (separate TLBs and caches)."""
+
+    INSTRUCTION = "instruction"
+    DATA = "data"

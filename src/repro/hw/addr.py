@@ -1,0 +1,118 @@
+"""Address arithmetic for the PowerPC 32-bit translation datapath.
+
+The paper's Figure 1 splits a 32-bit effective address (EA) into:
+
+* bits 0..3  (the 4 high-order bits): segment register number,
+* bits 4..19 (16 bits): page index within the segment,
+* bits 20..31 (12 bits): byte offset within the page.
+
+Concatenating the selected segment register's 24-bit VSID with the page
+index and offset yields the 52-bit virtual address (VA); the TLB and
+hashed page table translate ``(VSID, page index)`` to a 20-bit physical
+page number (PPN).
+
+Addresses are plain ``int`` throughout the simulator; the named tuple
+types here exist for readable decomposition at API boundaries and in the
+Figure-1 demonstration.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.params import (
+    PAGE_INDEX_BITS,
+    PAGE_INDEX_MASK,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    SEGMENT_SHIFT,
+    VSID_MASK,
+)
+
+EA_MASK = 0xFFFFFFFF
+OFFSET_MASK = PAGE_SIZE - 1
+
+
+class EffectiveAddress(NamedTuple):
+    """A 32-bit EA decomposed per Figure 1."""
+
+    segment: int  # 4-bit segment register number
+    page_index: int  # 16-bit page index within the segment
+    offset: int  # 12-bit byte offset
+
+    @property
+    def value(self) -> int:
+        return (
+            (self.segment << SEGMENT_SHIFT)
+            | (self.page_index << PAGE_SHIFT)
+            | self.offset
+        )
+
+
+class VirtualAddress(NamedTuple):
+    """A 52-bit VA: 24-bit VSID ++ 16-bit page index ++ 12-bit offset."""
+
+    vsid: int
+    page_index: int
+    offset: int
+
+    @property
+    def value(self) -> int:
+        return (
+            (self.vsid << (PAGE_INDEX_BITS + PAGE_SHIFT))
+            | (self.page_index << PAGE_SHIFT)
+            | self.offset
+        )
+
+    @property
+    def virtual_page(self) -> int:
+        """The 40-bit virtual page number (VSID ++ page index)."""
+        return (self.vsid << PAGE_INDEX_BITS) | self.page_index
+
+
+def ea_segment(ea: int) -> int:
+    """Segment register number: the 4 high-order bits of the EA."""
+    return (ea >> SEGMENT_SHIFT) & 0xF
+
+
+def ea_page_index(ea: int) -> int:
+    """16-bit page index within the segment."""
+    return (ea >> PAGE_SHIFT) & PAGE_INDEX_MASK
+
+
+def ea_offset(ea: int) -> int:
+    """12-bit byte offset within the page."""
+    return ea & OFFSET_MASK
+
+
+def page_of(ea: int) -> int:
+    """Full 20-bit effective page number (segment ++ page index)."""
+    return (ea & EA_MASK) >> PAGE_SHIFT
+
+
+def make_ea(segment: int, page_index: int, offset: int = 0) -> int:
+    """Compose a 32-bit EA from its Figure-1 fields."""
+    if not 0 <= segment < 16:
+        raise ValueError(f"segment register number out of range: {segment}")
+    if not 0 <= page_index <= PAGE_INDEX_MASK:
+        raise ValueError(f"page index out of range: {page_index}")
+    if not 0 <= offset < PAGE_SIZE:
+        raise ValueError(f"page offset out of range: {offset}")
+    return (segment << SEGMENT_SHIFT) | (page_index << PAGE_SHIFT) | offset
+
+
+def decompose_ea(ea: int) -> EffectiveAddress:
+    """Split a 32-bit EA into its Figure-1 fields."""
+    return EffectiveAddress(ea_segment(ea), ea_page_index(ea), ea_offset(ea))
+
+
+def make_virtual_address(vsid: int, ea: int) -> VirtualAddress:
+    """Concatenate a VSID with an EA's page index and offset (Figure 1)."""
+    if not 0 <= vsid <= VSID_MASK:
+        raise ValueError(f"VSID out of range: {vsid}")
+    return VirtualAddress(vsid, ea_page_index(ea), ea_offset(ea))
+
+
+def physical_address(ppn: int, offset: int) -> int:
+    """Compose a 32-bit physical address from PPN and byte offset."""
+    return (ppn << PAGE_SHIFT) | (offset & OFFSET_MASK)

@@ -1,0 +1,193 @@
+"""Physically-indexed set-associative L1 cache model.
+
+The paper's §8 and §9 arguments are entirely about who gets to put lines
+into this structure: TLB reloads that pull PTEs through the data cache,
+idle-task page clearing that fills the cache with zeroed lines nobody
+reads, versus user working sets that want to stay resident.
+
+The model tracks tags only (no data), true-LRU per set, write-back with
+write-allocate, and supports *cache-inhibited* accesses, which bypass the
+array entirely and cost a full memory access — the mechanism §9 uses to
+clear pages without polluting the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.params import CACHE_LINE_SIZE, L1_HIT_CYCLES
+
+
+@dataclass
+class CacheStats:
+    """Event counts for one cache array."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    bypasses: int = 0  # cache-inhibited accesses
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = 0
+        self.evictions = self.writebacks = self.bypasses = 0
+
+
+@dataclass
+class _Line:
+    tag: int
+    dirty: bool = False
+
+
+class Cache:
+    """One L1 array (instruction or data)."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        assoc: int,
+        mem_cycles: int,
+        line_size: int = CACHE_LINE_SIZE,
+        name: str = "cache",
+        word_cycles: int = 0,
+        hit_cycles: int = L1_HIT_CYCLES,
+        next_level: "Cache" = None,
+    ):
+        if size_bytes % (assoc * line_size):
+            raise ConfigError(
+                f"bad cache geometry: {size_bytes}B {assoc}-way "
+                f"{line_size}B lines"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_size = line_size
+        #: Cost of a full line fill from memory on a miss (used when
+        #: there is no next level).
+        self.mem_cycles = mem_cycles
+        #: Cost of a single-beat (cache-inhibited) access; defaults to
+        #: the line-fill cost when not given.
+        self.word_cycles = word_cycles or mem_cycles
+        #: Cost of a hit in *this* array (1 for L1, tens for an L2).
+        self.hit_cycles = hit_cycles
+        #: The next cache level misses fall through to (e.g. the
+        #: board-level L2 behind both L1s), or None for main memory.
+        self.next_level = next_level
+        self.num_sets = size_bytes // (assoc * line_size)
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # -- address mapping ---------------------------------------------------
+
+    def line_address(self, pa: int) -> int:
+        return pa // self.line_size
+
+    def set_index(self, line_addr: int) -> int:
+        return line_addr % self.num_sets
+
+    def tag(self, line_addr: int) -> int:
+        return line_addr // self.num_sets
+
+    # -- the access path ---------------------------------------------------
+
+    def access(self, pa: int, write: bool = False, inhibited: bool = False) -> int:
+        """One load or store at physical address ``pa``.
+
+        Returns the cycle cost.  Cache-inhibited accesses never touch the
+        array: they cost a memory access and count as bypasses.
+        """
+        if inhibited:
+            self.stats.bypasses += 1
+            return self.word_cycles
+        line_addr = self.line_address(pa)
+        set_index = self.set_index(line_addr)
+        lines = self._sets[set_index]
+        tag = self.tag(line_addr)
+        for position, line in enumerate(lines):
+            if line.tag == tag:
+                if position:
+                    lines.insert(0, lines.pop(position))
+                if write:
+                    line.dirty = True
+                self.stats.hits += 1
+                return self.hit_cycles
+        # Miss: allocate, evicting LRU.
+        self.stats.misses += 1
+        if self.next_level is not None:
+            cycles = self.next_level.access(pa, write=False)
+        else:
+            cycles = self.mem_cycles
+        if len(lines) >= self.assoc:
+            victim = lines.pop()
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                if self.next_level is not None:
+                    victim_pa = (
+                        (victim.tag * self.num_sets + set_index)
+                        * self.line_size
+                    )
+                    cycles += self.next_level.access(victim_pa, write=True)
+                else:
+                    cycles += self.mem_cycles // 2
+        lines.insert(0, _Line(tag=tag, dirty=write))
+        return cycles
+
+    def touch_line(self, line_addr: int, write: bool = False) -> int:
+        """Access by line address (used by the page-visit fast path)."""
+        return self.access(line_addr * self.line_size, write=write)
+
+    # -- maintenance operations --------------------------------------------
+
+    def contains(self, pa: int) -> bool:
+        line_addr = self.line_address(pa)
+        tag = self.tag(line_addr)
+        return any(
+            line.tag == tag for line in self._sets[self.set_index(line_addr)]
+        )
+
+    def flush_all(self) -> int:
+        """Write back and invalidate everything; returns cycle cost."""
+        cycles = 0
+        for lines in self._sets:
+            for line in lines:
+                if line.dirty:
+                    self.stats.writebacks += 1
+                    cycles += self.mem_cycles // 2
+            lines.clear()
+        return cycles
+
+    def invalidate_page(self, ppn: int, page_size: int = 4096) -> int:
+        """Invalidate all lines of a physical page (dcbf loop)."""
+        cycles = 0
+        first = (ppn * page_size) // self.line_size
+        for line_addr in range(first, first + page_size // self.line_size):
+            lines = self._sets[self.set_index(line_addr)]
+            tag = self.tag(line_addr)
+            for position, line in enumerate(lines):
+                if line.tag == tag:
+                    if line.dirty:
+                        self.stats.writebacks += 1
+                        cycles += self.mem_cycles // 2
+                    lines.pop(position)
+                    break
+        return cycles
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(lines) for lines in self._sets)
+
+    def occupancy(self) -> float:
+        return len(self) / (self.num_sets * self.assoc)
+
+    def resident_lines(self):
+        """Iterate (set_index, tag, dirty) for every resident line."""
+        for index, lines in enumerate(self._sets):
+            for line in lines:
+                yield index, line.tag, line.dirty

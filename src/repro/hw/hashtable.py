@@ -1,0 +1,257 @@
+"""The architected hashed page table (HTAB).
+
+§3: the table is organized into power-of-two many "buckets" (PTE groups,
+PTEGs) of eight PTEs each.  A primary hash of the virtual address picks
+one bucket; if no PTE there matches, the one's-complement secondary hash
+picks an overflow bucket.  Misses in both buckets raise the (hash-table)
+miss fault the kernel must service.
+
+The architected primary hash function is::
+
+    hash = (VSID mod 2^19)  XOR  page_index
+
+and the secondary hash is its one's complement.  The low bits of the
+hash, masked to the table size, select the PTEG.
+
+Replacement is the part the paper actually studies (§7): the reload code
+first looks for an *invalid* slot in either bucket and, failing that,
+"chose an arbitrary PTE to replace" — modelled as a per-table round-robin
+pointer, counted as an *evict*.  The idle-task zombie reclaim exists to
+keep invalid slots available so those evicts stop happening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigError
+from repro.hw.pte import HashPte
+from repro.params import HTAB_GROUPS, PTES_PER_GROUP
+
+_HASH_MASK_19 = (1 << 19) - 1
+
+
+def primary_hash(vsid: int, page_index: int) -> int:
+    """The architected 19-bit primary hash."""
+    return (vsid & _HASH_MASK_19) ^ (page_index & 0xFFFF)
+
+
+def secondary_hash(vsid: int, page_index: int) -> int:
+    """The architected secondary hash: one's complement of the primary."""
+    return (~primary_hash(vsid, page_index)) & _HASH_MASK_19
+
+
+@dataclass
+class PtegSearchResult:
+    """Outcome of a hash-table search for one virtual page."""
+
+    pte: Optional[HashPte]
+    #: Memory references the hardware (or software emulating it) made:
+    #: PTEs examined across the probed bucket(s).
+    mem_refs: int
+    #: Buckets probed (1 if found in primary without secondary probe).
+    buckets_probed: int
+
+    @property
+    def found(self) -> bool:
+        return self.pte is not None
+
+
+class HashedPageTable:
+    """A fixed-size architected hash table of PTE groups."""
+
+    def __init__(self, groups: int = HTAB_GROUPS):
+        if groups <= 0 or groups & (groups - 1):
+            raise ConfigError(f"HTAB group count must be a power of two: {groups}")
+        self.groups = groups
+        self.slots = groups * PTES_PER_GROUP
+        self._table: List[List[Optional[HashPte]]] = [
+            [None] * PTES_PER_GROUP for _ in range(groups)
+        ]
+        self._rr_pointer = 0
+        # Counters the paper reports on.
+        self.searches = 0
+        self.search_hits = 0
+        self.reloads = 0
+        self.evicts = 0
+        self.insert_secondary = 0
+        #: Per-bucket miss counts — the "hash table miss histogram" the
+        #: authors used to tune the VSID scatter constant (§5.2).
+        self.bucket_miss_histogram = [0] * groups
+
+    # -- indexing -----------------------------------------------------------
+
+    def group_index(self, vsid: int, page_index: int, secondary: bool) -> int:
+        if secondary:
+            return secondary_hash(vsid, page_index) & (self.groups - 1)
+        return primary_hash(vsid, page_index) & (self.groups - 1)
+
+    # -- the hardware search (and its software emulation) --------------------
+
+    def search(self, vsid: int, page_index: int, probe=None) -> PtegSearchResult:
+        """Probe primary then secondary bucket for a matching valid PTE.
+
+        Accounts one memory reference per PTE examined, the way the paper
+        counts the 16-reference worst case.  ``probe(group, slot)``, if
+        given, is invoked for every PTE examined so callers (the hardware
+        walker, the software miss handlers) can charge cache costs per
+        probe.
+        """
+        self.searches += 1
+        mem_refs = 0
+        for secondary in (False, True):
+            group_index = self.group_index(vsid, page_index, secondary)
+            group = self._table[group_index]
+            for slot, pte in enumerate(group):
+                mem_refs += 1
+                if probe is not None:
+                    probe(group_index, slot)
+                if pte is not None and pte.matches(vsid, page_index, secondary):
+                    self.search_hits += 1
+                    return PtegSearchResult(
+                        pte=pte, mem_refs=mem_refs, buckets_probed=1 + secondary
+                    )
+            # A full bucket with no match falls through to the secondary.
+        primary_group = self.group_index(vsid, page_index, False)
+        self.bucket_miss_histogram[primary_group] += 1
+        return PtegSearchResult(pte=None, mem_refs=mem_refs, buckets_probed=2)
+
+    def pte_at(self, group_index: int, slot: int) -> Optional[HashPte]:
+        """Direct slot read (for the walker and white-box tests)."""
+        return self._table[group_index][slot]
+
+    # -- reload / insert ------------------------------------------------------
+
+    def insert(self, pte: HashPte, probe=None) -> dict:
+        """Install a PTE, preferring invalid slots; evict round-robin else.
+
+        Returns an event dict: ``{"mem_refs", "evicted", "victim"}`` where
+        ``victim`` is the replaced *valid* PTE if an evict happened.
+        ``probe(group, slot)`` is called per slot examined, as in
+        :meth:`search`.
+        """
+        self.reloads += 1
+        mem_refs = 0
+        # Pass 1: a free (invalid) slot in primary, then secondary bucket.
+        for secondary in (False, True):
+            index = self.group_index(pte.vsid, pte.page_index, secondary)
+            group = self._table[index]
+            for slot, existing in enumerate(group):
+                mem_refs += 1
+                if probe is not None:
+                    probe(index, slot)
+                if existing is None or not existing.valid:
+                    pte.secondary = secondary
+                    group[slot] = pte
+                    if secondary:
+                        self.insert_secondary += 1
+                    return {"mem_refs": mem_refs, "evicted": False, "victim": None}
+        # No invalid slot anywhere: replace an arbitrary PTE (§7), chosen
+        # round-robin within the primary bucket.
+        index = self.group_index(pte.vsid, pte.page_index, False)
+        group = self._table[index]
+        slot = self._rr_pointer % PTES_PER_GROUP
+        self._rr_pointer += 1
+        victim = group[slot]
+        pte.secondary = False
+        group[slot] = pte
+        self.evicts += 1
+        return {"mem_refs": mem_refs, "evicted": True, "victim": victim}
+
+    # -- invalidation ----------------------------------------------------------
+
+    def invalidate_entry(self, vsid: int, page_index: int, probe=None) -> dict:
+        """Search-and-invalidate one translation (the expensive flush path).
+
+        Returns ``{"mem_refs", "found"}``; the 16-reference worst case is
+        exactly the cost §7 attributes to range flushes.
+        """
+        mem_refs = 0
+        for secondary in (False, True):
+            group_index = self.group_index(vsid, page_index, secondary)
+            group = self._table[group_index]
+            for slot, pte in enumerate(group):
+                mem_refs += 1
+                if probe is not None:
+                    probe(group_index, slot)
+                if pte is not None and pte.matches(vsid, page_index, secondary):
+                    pte.valid = False
+                    return {"mem_refs": mem_refs, "found": True}
+        return {"mem_refs": mem_refs, "found": False}
+
+    def invalidate_all(self) -> int:
+        """Clear the whole table; returns slots that were valid."""
+        cleared = 0
+        for group in self._table:
+            for slot in range(PTES_PER_GROUP):
+                if group[slot] is not None and group[slot].valid:
+                    cleared += 1
+                group[slot] = None
+        return cleared
+
+    # -- the idle task's view ---------------------------------------------------
+
+    def scan_slots(self, start: int, count: int):
+        """Yield ``(flat_slot_index, pte)`` for a window of the table.
+
+        The idle task's zombie reclaim walks the table incrementally with
+        this, remembering its position between idle periods.
+        """
+        for offset in range(count):
+            flat = (start + offset) % self.slots
+            group, slot = divmod(flat, PTES_PER_GROUP)
+            yield flat, self._table[group][slot]
+
+    def invalidate_slot(self, flat_index: int) -> None:
+        group, slot = divmod(flat_index % self.slots, PTES_PER_GROUP)
+        pte = self._table[group][slot]
+        if pte is not None:
+            pte.valid = False
+
+    # -- statistics ---------------------------------------------------------------
+
+    def valid_entries(self) -> int:
+        return sum(
+            1
+            for group in self._table
+            for pte in group
+            if pte is not None and pte.valid
+        )
+
+    def occupancy(self) -> float:
+        """Fraction of slots holding valid PTEs — the paper's "use" metric."""
+        return self.valid_entries() / self.slots
+
+    def live_and_zombie_counts(
+        self, vsid_is_live: Callable[[int], bool]
+    ) -> tuple:
+        """Split valid entries into live vs zombie under a VSID predicate."""
+        live = zombie = 0
+        for group in self._table:
+            for pte in group:
+                if pte is not None and pte.valid:
+                    if vsid_is_live(pte.vsid):
+                        live += 1
+                    else:
+                        zombie += 1
+        return live, zombie
+
+    def evict_ratio(self) -> float:
+        """Evicts per reload — §7's headline metric (>90% before, 30% after)."""
+        return self.evicts / self.reloads if self.reloads else 0.0
+
+    def search_hit_rate(self) -> float:
+        return self.search_hits / self.searches if self.searches else 0.0
+
+    def bucket_load_histogram(self) -> List[int]:
+        """Valid-PTE count per bucket (for hot-spot analysis, §5.2)."""
+        return [
+            sum(1 for pte in group if pte is not None and pte.valid)
+            for group in self._table
+        ]
+
+    def reset_stats(self) -> None:
+        self.searches = self.search_hits = 0
+        self.reloads = self.evicts = self.insert_secondary = 0
+        self.bucket_miss_histogram = [0] * self.groups

@@ -1,0 +1,346 @@
+"""The machine model: the full Figure-1 translation datapath plus caches.
+
+``MachineModel`` owns the segment registers, BAT array, instruction and
+data TLBs, L1 caches, the in-memory hashed page table, the 604 hardware
+walk engine and the performance monitor.  The kernel layer installs a
+*refill handler* — the software that runs when hardware cannot resolve a
+translation (every TLB miss on the 603; hash-table misses on the 604).
+
+Cost accounting: BAT hits and TLB hits are overlapped with the access and
+charge nothing beyond the cache access itself; every miss path charges
+the paper's interrupt/walk costs plus real cache-modelled memory
+references.  All charges land in the machine's :class:`CycleLedger`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigError, TranslationError
+from repro.hw.access import AccessKind
+from repro.hw.addr import ea_page_index, physical_address
+from repro.hw.bat import BatArray
+from repro.hw.cache import Cache
+from repro.hw.hashtable import HashedPageTable
+from repro.hw.monitor import HardwareMonitor
+from repro.hw.segment import SegmentRegisterFile
+from repro.hw.tlb import Tlb, TlbEntry
+from repro.hw.walker import HardwareWalker, PTE_BYTES
+from repro.params import (
+    C603_MISS_INVOKE_CYCLES,
+    C604_HASH_MISS_INVOKE_CYCLES,
+    HTAB_GROUPS,
+    MachineSpec,
+    PAGE_SHIFT,
+    RAM_BYTES,
+)
+from repro.sim.clock import CycleLedger
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of translating one effective address."""
+
+    pa: int
+    cycles: int
+    #: Which path resolved it: "bat", "tlb", "hw_walk", "handler".
+    path: str
+    cache_inhibited: bool = False
+
+
+@dataclass
+class RefillResult:
+    """What the kernel's software refill handler hands back to hardware."""
+
+    entry: Optional[TlbEntry]
+    cycles: int
+
+
+#: Signature of the kernel-installed refill handler.
+RefillHandler = Callable[["MachineModel", int, AccessKind, bool, int, int], RefillResult]
+
+
+class MachineModel:
+    """One simulated PowerPC machine (603- or 604-style MMU)."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        htab_groups: int = HTAB_GROUPS,
+        ram_bytes: int = RAM_BYTES,
+        cache_ptes: bool = True,
+    ):
+        self.spec = spec
+        self.ram_bytes = ram_bytes
+        self.clock = CycleLedger()
+        self.monitor = HardwareMonitor()
+        self.segments = SegmentRegisterFile()
+        self.bats = BatArray()
+        self.itlb = Tlb(spec.itlb_entries, spec.tlb_assoc, name="itlb")
+        self.dtlb = Tlb(spec.dtlb_entries, spec.tlb_assoc, name="dtlb")
+        #: Unified board-level L2 behind both L1s.
+        self.l2 = Cache(
+            spec.l2_bytes,
+            8,
+            spec.mem_cycles,
+            name="l2",
+            word_cycles=spec.word_cycles,
+            hit_cycles=spec.l2_hit_cycles,
+        )
+        self.icache = Cache(
+            spec.icache_bytes,
+            spec.cache_assoc,
+            spec.mem_cycles,
+            name="icache",
+            word_cycles=spec.word_cycles,
+            next_level=self.l2,
+        )
+        self.dcache = Cache(
+            spec.dcache_bytes,
+            spec.cache_assoc,
+            spec.mem_cycles,
+            name="dcache",
+            word_cycles=spec.word_cycles,
+            next_level=self.l2,
+        )
+        self.htab = HashedPageTable(groups=htab_groups)
+        htab_bytes = self.htab.slots * PTE_BYTES
+        if htab_bytes >= ram_bytes:
+            raise ConfigError("hash table does not fit in RAM")
+        #: The table lives at the top of physical memory.
+        self.htab_base_pa = ram_bytes - htab_bytes
+        self.walker = HardwareWalker(
+            self.htab, self.dcache, self.htab_base_pa, cache_ptes=cache_ptes
+        )
+        self.refill_handler: Optional[RefillHandler] = None
+
+    # -- configuration --------------------------------------------------------
+
+    def install_refill_handler(self, handler: RefillHandler) -> None:
+        """The kernel installs its TLB/hash-miss handler here."""
+        self.refill_handler = handler
+
+    def tlb_for(self, kind: AccessKind) -> Tlb:
+        return self.itlb if kind is AccessKind.INSTRUCTION else self.dtlb
+
+    def cache_for(self, kind: AccessKind) -> Cache:
+        return self.icache if kind is AccessKind.INSTRUCTION else self.dcache
+
+    # -- the translation datapath ----------------------------------------------
+
+    def translate(
+        self, ea: int, kind: AccessKind = AccessKind.DATA, write: bool = False
+    ) -> TranslationResult:
+        """Translate one EA, charging all miss costs to the ledger."""
+        # Block address translation proceeds in parallel with the page
+        # lookup and wins if it matches (§3) — zero added latency.
+        bat = self.bats.lookup(ea, instruction=kind is AccessKind.INSTRUCTION)
+        if bat is not None:
+            self.monitor.count("bat_translation")
+            return TranslationResult(
+                pa=bat.translate(ea),
+                cycles=0,
+                path="bat",
+                cache_inhibited=bool(bat.wimg & 0b0100),
+            )
+
+        vsid = self.segments.vsid_for(ea)
+        page_index = ea_page_index(ea)
+        tlb = self.tlb_for(kind)
+        entry = tlb.lookup(vsid, page_index)
+        if entry is not None:
+            pa = physical_address(entry.ppn, ea & (1 << PAGE_SHIFT) - 1)
+            return TranslationResult(
+                pa=pa,
+                cycles=0,
+                path="tlb",
+                cache_inhibited=entry.cache_inhibited,
+            )
+        return self._tlb_miss(ea, kind, write, vsid, page_index, tlb)
+
+    def _tlb_miss(
+        self,
+        ea: int,
+        kind: AccessKind,
+        write: bool,
+        vsid: int,
+        page_index: int,
+        tlb: Tlb,
+    ) -> TranslationResult:
+        self.monitor.count(
+            "itlb_miss" if kind is AccessKind.INSTRUCTION else "dtlb_miss"
+        )
+        if self.spec.hardware_tablewalk:
+            return self._tlb_miss_604(ea, kind, write, vsid, page_index, tlb)
+        return self._tlb_miss_603(ea, kind, write, vsid, page_index, tlb)
+
+    def _tlb_miss_604(self, ea, kind, write, vsid, page_index, tlb):
+        """604: hardware searches the hash table before trapping."""
+        outcome = self.walker.walk(vsid, page_index)
+        self.monitor.count("htab_search")
+        cycles = outcome.cycles
+        if outcome.found:
+            self.monitor.count("htab_hit")
+            pte = outcome.pte
+            pte.referenced = True
+            if write:
+                pte.changed = True
+            entry = TlbEntry(
+                vsid=vsid,
+                page_index=page_index,
+                ppn=pte.rpn,
+                writable=pte.pp != 0b11,
+                cache_inhibited=pte.cache_inhibited,
+                is_kernel=ea >= 0xC0000000,
+            )
+            tlb.insert(entry)
+            self.clock.add(cycles, "tlb_reload")
+            pa = physical_address(entry.ppn, ea & (1 << PAGE_SHIFT) - 1)
+            return TranslationResult(
+                pa=pa,
+                cycles=cycles,
+                path="hw_walk",
+                cache_inhibited=entry.cache_inhibited,
+            )
+        # Hash-table miss: trap to the kernel.
+        self.monitor.count("htab_miss")
+        self.monitor.count("hash_miss_interrupt")
+        cycles += C604_HASH_MISS_INVOKE_CYCLES
+        return self._software_refill(ea, kind, write, vsid, page_index, tlb, cycles)
+
+    def _tlb_miss_603(self, ea, kind, write, vsid, page_index, tlb):
+        """603: every TLB miss traps to software immediately."""
+        self.monitor.count("sw_tlb_miss_interrupt")
+        cycles = C603_MISS_INVOKE_CYCLES
+        return self._software_refill(ea, kind, write, vsid, page_index, tlb, cycles)
+
+    def _software_refill(self, ea, kind, write, vsid, page_index, tlb, cycles):
+        if self.refill_handler is None:
+            self.clock.add(cycles, "tlb_reload")
+            raise TranslationError(ea, "TLB miss with no refill handler installed")
+        refill = self.refill_handler(self, ea, kind, write, vsid, page_index)
+        cycles += refill.cycles
+        self.clock.add(cycles, "tlb_reload")
+        if refill.entry is None:
+            raise TranslationError(ea, "refill handler could not map address")
+        tlb.insert(refill.entry)
+        pa = physical_address(refill.entry.ppn, ea & (1 << PAGE_SHIFT) - 1)
+        return TranslationResult(
+            pa=pa,
+            cycles=cycles,
+            path="handler",
+            cache_inhibited=refill.entry.cache_inhibited,
+        )
+
+    # -- memory accesses ---------------------------------------------------------
+
+    def data_access(self, ea: int, write: bool = False) -> int:
+        """Translate + one data-cache access; returns total cycles."""
+        result = self.translate(ea, AccessKind.DATA, write)
+        cycles = self.dcache.access(
+            result.pa, write=write, inhibited=result.cache_inhibited
+        )
+        if not result.cache_inhibited and cycles > 1:
+            self.monitor.count("dcache_miss")
+        self.clock.add(cycles, "mem")
+        return result.cycles + cycles
+
+    def instruction_fetch(self, ea: int) -> int:
+        """Translate + one instruction-cache access."""
+        result = self.translate(ea, AccessKind.INSTRUCTION, write=False)
+        cycles = self.icache.access(result.pa, inhibited=result.cache_inhibited)
+        if not result.cache_inhibited and cycles > 1:
+            self.monitor.count("icache_miss")
+        self.clock.add(cycles, "mem")
+        return result.cycles + cycles
+
+    def access_page(
+        self,
+        ea: int,
+        lines: int,
+        write: bool = False,
+        kind: AccessKind = AccessKind.DATA,
+        first_line: int = 0,
+    ) -> int:
+        """Batched page visit: one translation, ``lines`` line touches.
+
+        This is the workload fast path: a process touching a working-set
+        page translates once (later references hit the TLB, which costs
+        nothing extra) and streams through ``lines`` distinct cache lines
+        starting at ``first_line`` (callers stagger this so different hot
+        pages do not artificially alias into the same cache sets).
+        """
+        result = self.translate(ea, kind, write)
+        cache = self.cache_for(kind)
+        total = result.cycles
+        line_size = cache.line_size
+        page_base = result.pa & ~0xFFF
+        miss_event = (
+            "icache_miss" if kind is AccessKind.INSTRUCTION else "dcache_miss"
+        )
+        mem_cycles = 0
+        for index in range(first_line, first_line + lines):
+            cost = cache.access(
+                page_base + (index * line_size) % 4096,
+                write=write,
+                inhibited=result.cache_inhibited,
+            )
+            if not result.cache_inhibited and cost > 1:
+                self.monitor.count(miss_event)
+            mem_cycles += cost
+        self.clock.add(mem_cycles, "mem")
+        return total + mem_cycles
+
+    def prefetch_page_lines(
+        self,
+        ea: int,
+        lines: int,
+        first_line: int = 0,
+        issue_cycles: int = 2,
+    ) -> int:
+        """§10.2's `dcbt`-style data prefetch: non-faulting, latency hidden.
+
+        The PowerPC touch instructions never fault: a prefetch whose
+        translation misses the TLB is simply dropped.  Lines brought in
+        here charge only the issue cost — the fill overlaps the
+        independent work the caller is about to do (which is why the
+        paper proposes them for context-switch and interrupt entry code,
+        where hundreds of cycles of register work can hide the fills).
+        """
+        bat = self.bats.lookup(ea, instruction=False)
+        if bat is not None:
+            pa_base = bat.translate(ea) & ~0xFFF
+        else:
+            vsid = self.segments.vsid_for(ea)
+            entry = self.dtlb.peek(vsid, ea_page_index(ea))
+            if entry is None or entry.cache_inhibited:
+                # Dropped prefetch: issue cost only.
+                self.clock.add(issue_cycles, "prefetch")
+                return issue_cycles
+            pa_base = entry.ppn << PAGE_SHIFT
+        cycles = 0
+        for index in range(first_line, first_line + lines):
+            cycles += issue_cycles
+            self.dcache.access(
+                pa_base + (index * self.dcache.line_size) % 4096, write=False
+            )
+        self.clock.add(cycles, "prefetch")
+        return cycles
+
+    # -- housekeeping -------------------------------------------------------------
+
+    def context_switch_segments(self, vsids) -> int:
+        """Load the 16 segment registers (the per-switch VSID reload)."""
+        self.segments.load_context(vsids)
+        cycles = 2 * len(vsids)  # one mtsr per register, dual-issued
+        self.clock.add(cycles, "context_switch")
+        return cycles
+
+    def invalidate_tlbs(self) -> None:
+        self.itlb.invalidate_all()
+        self.dtlb.invalidate_all()
+
+    def elapsed_us(self) -> float:
+        """Wall-clock equivalent of the ledger at this machine's clock."""
+        return self.spec.cycles_to_us(self.clock.total)

@@ -1,0 +1,119 @@
+"""Hashed-page-table PTE model (PowerPC architecture, §3 of the paper).
+
+Each PTE in the hashed page table is two 32-bit words:
+
+word 0 (the "tag" word)::
+
+    V (1) | VSID (24) | H (1) | API (6)
+
+word 1 (the "data" word)::
+
+    RPN (20) | 000 | R (1) | C (1) | WIMG (4) | 0 | PP (2)
+
+``V`` is the valid bit the idle-task zombie reclaim clears; ``H`` records
+whether the entry was inserted under the primary (0) or secondary (1)
+hash function; ``API`` is the abbreviated page index — the high 6 bits of
+the 16-bit page index (the remaining 10 bits participate in the hash, so
+tag + bucket position identify the page uniquely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import API_BITS, PAGE_INDEX_BITS, VSID_MASK
+
+API_SHIFT = PAGE_INDEX_BITS - API_BITS  # low 10 bits feed the hash only
+API_MASK = (1 << API_BITS) - 1
+
+#: Page-protection field encodings (PP bits with Ks/Kp folded away; the
+#: simulator models supervisor/user via the kernel layer instead).
+PP_RW = 0b10
+PP_RO = 0b11
+
+#: WIMG attribute bits.
+WIMG_WRITE_THROUGH = 0b1000
+WIMG_CACHE_INHIBIT = 0b0100
+WIMG_COHERENT = 0b0010
+WIMG_GUARDED = 0b0001
+
+
+def pte_api(page_index: int) -> int:
+    """Abbreviated page index: the high 6 bits of the 16-bit page index."""
+    return (page_index >> API_SHIFT) & API_MASK
+
+
+@dataclass
+class HashPte:
+    """One entry of the hashed page table.
+
+    ``page_index`` keeps the full 16-bit index for the simulator's benefit;
+    hardware stores only the 6-bit API (the rest is implied by the bucket
+    the entry hashes to).  ``pack``/``unpack`` produce the architected
+    2-word encoding, which the unit tests check bit-for-bit.
+    """
+
+    vsid: int
+    page_index: int
+    rpn: int
+    valid: bool = True
+    secondary: bool = False  # the H bit
+    referenced: bool = False  # the R bit
+    changed: bool = False  # the C bit
+    wimg: int = 0
+    pp: int = PP_RW
+
+    @property
+    def api(self) -> int:
+        return pte_api(self.page_index)
+
+    @property
+    def cache_inhibited(self) -> bool:
+        return bool(self.wimg & WIMG_CACHE_INHIBIT)
+
+    def matches(self, vsid: int, page_index: int, secondary: bool) -> bool:
+        """Hardware tag compare: V, VSID, H and API must all match."""
+        return (
+            self.valid
+            and self.vsid == vsid
+            and self.secondary == secondary
+            and self.api == pte_api(page_index)
+            and self.page_index == page_index
+        )
+
+    def pack(self) -> tuple:
+        """Encode into the architected (word0, word1) pair."""
+        word0 = (
+            (int(self.valid) << 31)
+            | ((self.vsid & VSID_MASK) << 7)
+            | (int(self.secondary) << 6)
+            | self.api
+        )
+        word1 = (
+            ((self.rpn & 0xFFFFF) << 12)
+            | (int(self.referenced) << 8)
+            | (int(self.changed) << 7)
+            | ((self.wimg & 0xF) << 3)
+            | (self.pp & 0x3)
+        )
+        return word0, word1
+
+    @classmethod
+    def unpack(cls, word0: int, word1: int, low_page_bits: int = 0) -> "HashPte":
+        """Decode the architected encoding.
+
+        ``low_page_bits`` supplies the 10 page-index bits hardware derives
+        from the bucket index; tests pass the original low bits back in.
+        """
+        api = word0 & API_MASK
+        return cls(
+            vsid=(word0 >> 7) & VSID_MASK,
+            page_index=(api << API_SHIFT) | (low_page_bits & ((1 << API_SHIFT) - 1)),
+            rpn=(word1 >> 12) & 0xFFFFF,
+            valid=bool(word0 >> 31),
+            secondary=bool((word0 >> 6) & 1),
+            referenced=bool((word1 >> 8) & 1),
+            changed=bool((word1 >> 7) & 1),
+            wimg=(word1 >> 3) & 0xF,
+            pp=word1 & 0x3,
+        )

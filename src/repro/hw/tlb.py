@@ -1,0 +1,157 @@
+"""Set-associative translation look-aside buffers.
+
+The 603 has separate 64-entry instruction and data TLBs; the 604's are
+128 entries each (the paper quotes the 128/256 totals).  Both are 2-way
+set associative and indexed by the low bits of the effective page index,
+with the (VSID, page index) pair as tag — so two processes' entries for
+the same EA coexist only until they collide in a set.
+
+The model keeps an LRU bit per set, as the hardware does for 2-way
+arrays, and generalizes to true-LRU for wider associativity so tests can
+exercise other geometries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class TlbEntry:
+    """One cached virtual-to-physical translation."""
+
+    vsid: int
+    page_index: int
+    ppn: int
+    writable: bool = True
+    cache_inhibited: bool = False
+    #: The kernel tags entries it loaded for supervisor addresses so the
+    #: monitor can report the OS TLB footprint (§5.1's 33% figure).
+    is_kernel: bool = False
+
+
+class Tlb:
+    """A set-associative TLB with per-set LRU replacement."""
+
+    def __init__(self, entries: int, assoc: int, name: str = "tlb"):
+        if entries <= 0 or assoc <= 0 or entries % assoc:
+            raise ConfigError(
+                f"bad TLB geometry: {entries} entries, {assoc}-way"
+            )
+        self.name = name
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        # Each set is a list of TlbEntry ordered most-recent-first.
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.invalidate_all_count = 0
+        self.invalidate_entry_count = 0
+
+    # -- indexing ----------------------------------------------------------
+
+    def set_index(self, page_index: int) -> int:
+        """Hardware indexes by the low EA page-index bits."""
+        return page_index % self.num_sets
+
+    # -- lookup / fill -----------------------------------------------------
+
+    def lookup(self, vsid: int, page_index: int) -> Optional[TlbEntry]:
+        """Probe the TLB; maintains LRU order and hit/miss counters."""
+        entries = self._sets[self.set_index(page_index)]
+        for position, entry in enumerate(entries):
+            if entry.vsid == vsid and entry.page_index == page_index:
+                if position:
+                    entries.insert(0, entries.pop(position))
+                self.hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def peek(self, vsid: int, page_index: int) -> Optional[TlbEntry]:
+        """Probe without touching LRU state or counters (for assertions)."""
+        for entry in self._sets[self.set_index(page_index)]:
+            if entry.vsid == vsid and entry.page_index == page_index:
+                return entry
+        return None
+
+    def insert(self, entry: TlbEntry) -> Optional[TlbEntry]:
+        """Fill an entry, evicting LRU if the set is full.
+
+        Returns the victim entry, or None if a slot was free or the same
+        translation was already present (it is refreshed in place).
+        """
+        entries = self._sets[self.set_index(entry.page_index)]
+        for position, existing in enumerate(entries):
+            if (
+                existing.vsid == entry.vsid
+                and existing.page_index == entry.page_index
+            ):
+                entries.pop(position)
+                entries.insert(0, entry)
+                return None
+        victim = None
+        if len(entries) >= self.assoc:
+            victim = entries.pop()
+        entries.insert(0, entry)
+        return victim
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate_page(self, page_index: int) -> int:
+        """`tlbie`: drop every entry whose EA page index matches.
+
+        The architected instruction invalidates by EA (all VSIDs in the
+        indexed set whose page index matches), which is why per-page
+        flushes are cheap for the TLB but the hash table still needs the
+        expensive search the paper complains about.
+        """
+        entries = self._sets[self.set_index(page_index)]
+        before = len(entries)
+        entries[:] = [e for e in entries if e.page_index != page_index]
+        removed = before - len(entries)
+        self.invalidate_entry_count += 1
+        return removed
+
+    def invalidate_all(self) -> None:
+        """`tlbia` / sync of a full flush."""
+        for entries in self._sets:
+            entries.clear()
+        self.invalidate_all_count += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def occupancy(self) -> float:
+        """Fraction of TLB slots currently holding a translation."""
+        return len(self) / self.entries
+
+    def kernel_entries(self) -> int:
+        """How many live entries belong to the kernel (§5.1 footprint)."""
+        return sum(
+            1
+            for entries in self._sets
+            for entry in entries
+            if entry.is_kernel
+        )
+
+    def live_entries(self):
+        """Iterate over all live entries (MRU-first within each set)."""
+        for entries in self._sets:
+            yield from entries
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidate_all_count = 0
+        self.invalidate_entry_count = 0

@@ -1,0 +1,29 @@
+"""A Linux/PPC-like memory-management layer over the machine model.
+
+Every optimization the paper studies is a :class:`~repro.kernel.config.KernelConfig`
+flag, so benchmarks can reproduce the paper's one-change-at-a-time
+methodology (§4): "measurements are relative to the original
+(unoptimized) kernel versus only the specific optimization being
+discussed".
+"""
+
+from repro.kernel.config import IdlePageClearPolicy, KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.pagetable import LinuxPte, TwoLevelPageTable
+from repro.kernel.palloc import PageAllocator
+from repro.kernel.task import Mm, Task, TaskState
+from repro.kernel.vsid import ContextCounterVsids, PidScatterVsids
+
+__all__ = [
+    "ContextCounterVsids",
+    "IdlePageClearPolicy",
+    "Kernel",
+    "KernelConfig",
+    "LinuxPte",
+    "Mm",
+    "PageAllocator",
+    "PidScatterVsids",
+    "Task",
+    "TaskState",
+    "TwoLevelPageTable",
+]

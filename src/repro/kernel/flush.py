@@ -1,0 +1,122 @@
+"""TLB and hash-table flush strategies (§7).
+
+The expensive baseline: invalidating a process's translation means a
+hash-table *search* — "in the worst case, the search requires 16 memory
+references ... for each PTE being flushed", and "it is not uncommon for
+ranges of 40–110 pages to be flushed in one shot".
+
+The lazy strategy: give the context fresh VSIDs ("just involved a reset
+of the VSID") and let the stale entries rot as zombies.  The tunable
+range-flush cutoff applies the lazy strategy to any range larger than
+~20 pages, which is what took mmap latency from 3240 µs to 41 µs.
+"""
+
+from __future__ import annotations
+
+from repro.hw.machine import MachineModel
+from repro.params import (
+    FLUSH_PTE_TREE_CYCLES,
+    PAGE_SIZE,
+    TLBIE_CYCLES,
+    VSID_BUMP_CYCLES,
+)
+
+
+class FlushEngine:
+    """Implements flush_page / flush_range / flush_mm per configuration."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.machine: MachineModel = kernel.machine
+        self.config = kernel.config
+
+    # -- building blocks ----------------------------------------------------------
+
+    def _uses_htab(self) -> bool:
+        if self.machine.spec.hardware_tablewalk:
+            return True
+        return self.config.use_htab_on_603
+
+    def _search_flush_page(self, mm, ea: int) -> int:
+        """Invalidate one page the hard way: hash search + tlbie."""
+        machine = self.machine
+        page_index = (ea >> 12) & 0xFFFF
+        vsid = mm.user_vsids[(ea >> 28) & 0xF] if ea < 0xC0000000 else None
+        cycles = FLUSH_PTE_TREE_CYCLES
+        if self._uses_htab() and vsid is not None:
+            event = machine.walker.invalidate(vsid, page_index)
+            cycles += event["cycles"]
+        cycles += TLBIE_CYCLES
+        machine.itlb.invalidate_page(page_index)
+        machine.dtlb.invalidate_page(page_index)
+        machine.clock.add(cycles, "flush")
+        return cycles
+
+    def _bump_context(self, mm) -> int:
+        """The lazy whole-context invalidate: swap the mm onto new VSIDs."""
+        kernel = self.kernel
+        new_vsids = kernel.vsid_allocator.bump(mm.user_vsids, pid=0)
+        mm.user_vsids = list(new_vsids)
+        cycles = VSID_BUMP_CYCLES
+        if kernel.current_task is not None and kernel.current_task.mm is mm:
+            # Reload the live segment registers so the new VSIDs take
+            # effect immediately (counted inside the machine call).
+            self.machine.context_switch_segments(mm.segment_vsids())
+        self.machine.monitor.count("vsid_bump")
+        self.machine.monitor.count("flush_range_lazy")
+        self.machine.clock.add(cycles, "flush")
+        return cycles
+
+    # -- public API ------------------------------------------------------------------
+
+    def flush_page(self, mm, ea: int) -> int:
+        """Invalidate a single translation (always the search path)."""
+        self.machine.monitor.count("flush_range_search")
+        return self._search_flush_page(mm, ea)
+
+    def flush_range(self, mm, start: int, end: int) -> int:
+        """Invalidate every translation in ``[start, end)``.
+
+        With lazy flushing enabled and the range beyond the cutoff, the
+        whole context is invalidated by a VSID bump instead (§7: "we
+        fixed this problem by invalidating the whole memory management
+        context of any process needing to invalidate more than a small
+        set of pages").
+        """
+        n_pages = (end - start) >> 12
+        if (
+            self.config.lazy_vsid_flush
+            and self.config.range_flush_cutoff is not None
+            and n_pages > self.config.range_flush_cutoff
+        ):
+            return self._bump_context(mm)
+        # The §7 baseline the paper measured at 3240 µs: "the kernel was
+        # clearing the range of addresses by searching the hash table for
+        # each PTE in turn" — every page of the range pays the search,
+        # whether or not anything was ever mapped there.
+        self.machine.monitor.count("flush_range_search")
+        cycles = 0
+        for ea in range(start, end, PAGE_SIZE):
+            cycles += self._search_flush_page(mm, ea)
+        return cycles
+
+    def flush_mm(self, mm) -> int:
+        """Invalidate an entire address space (exec / exit)."""
+        if self.config.lazy_vsid_flush:
+            return self._bump_context(mm)
+        self.machine.monitor.count("flush_range_search")
+        cycles = 0
+        for ea, _pte in list(mm.page_table.mapped_pages()):
+            cycles += self._search_flush_page(mm, ea)
+        return cycles
+
+    def flush_everything(self) -> int:
+        """Nuclear option: used on VSID-counter wrap."""
+        machine = self.machine
+        cleared = machine.htab.invalidate_all()
+        machine.invalidate_tlbs()
+        cycles = max(cleared, 1) * 2 + TLBIE_CYCLES
+        machine.clock.add(cycles, "flush")
+        if hasattr(self.kernel.vsid_allocator, "reset_after_global_flush"):
+            self.kernel.vsid_allocator.reset_after_global_flush()
+        return cycles

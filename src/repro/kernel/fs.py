@@ -1,0 +1,161 @@
+"""A small file layer with a page cache.
+
+Enough of a filesystem to drive the paper's workloads: the kernel-compile
+benchmark's "mix of process creation, file I/O, and computation" (§4),
+LmBench's file-reread point, and executable images for exec().
+
+Files are backed by page-cache frames; a cold read costs a disk wait the
+scheduler spends in the idle task (which is precisely when §7/§9 idle
+work happens), a warm read is a kernel-to-user copy charged line by line
+through the cache model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SyscallError
+from repro.params import PAGE_SHIFT, PAGE_SIZE
+
+#: Average disk service time per page in the late-90s parts, amortized
+#: over readahead.  Converted to cycles at each machine's clock.
+DISK_READ_PAGE_US = 80.0
+
+#: Page-cache lookup plus generic-file-read bookkeeping per page.
+FS_PER_PAGE_CYCLES = 120
+
+
+@dataclass
+class File:
+    """One file: a name, a size, and its page-cache residency."""
+
+    name: str
+    size: int
+    #: file page number -> physical frame
+    cached: Dict[int, int] = field(default_factory=dict)
+    #: Executable images are wired: their frames are never reclaimed and
+    #: are mapped shared into processes.
+    wired: bool = False
+
+    @property
+    def pages(self) -> int:
+        return (self.size + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+class FileSystem:
+    """The kernel's file table and page cache."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._files: Dict[str, File] = {}
+        self.disk_reads = 0
+        self.cache_hits = 0
+
+    # -- namespace -----------------------------------------------------------
+
+    def create(self, name: str, size: int, wired: bool = False) -> File:
+        if name in self._files:
+            raise SyscallError("create", f"file exists: {name}")
+        if size <= 0:
+            raise SyscallError("create", f"bad size for {name}: {size}")
+        file = File(name=name, size=size, wired=wired)
+        self._files[name] = file
+        return file
+
+    def lookup(self, name: str) -> File:
+        file = self._files.get(name)
+        if file is None:
+            raise SyscallError("open", f"no such file: {name}")
+        return file
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    # -- the page cache ---------------------------------------------------------
+
+    def page_frame(self, file: File, page: int) -> Tuple[int, int]:
+        """Frame for one file page: ``(pfn, disk_wait_cycles)``.
+
+        A cold page allocates a frame and reports the disk wait the
+        caller must sleep for; a warm page costs nothing here.
+        """
+        if page >= file.pages:
+            raise SyscallError("read", f"read past EOF of {file.name}")
+        pfn = file.cached.get(page)
+        if pfn is not None:
+            self.cache_hits += 1
+            return pfn, 0
+        pfn = self.kernel.palloc.get_free_page(zeroed=False)
+        file.cached[page] = pfn
+        self.disk_reads += 1
+        wait = self.kernel.machine.spec.us_to_cycles(DISK_READ_PAGE_US)
+        return pfn, wait
+
+    def prefault(self, name: str) -> int:
+        """Pull a whole file into the page cache (no waits charged).
+
+        Used at boot to stage executable images, mirroring a warm system.
+        """
+        file = self.lookup(name)
+        loaded = 0
+        for page in range(file.pages):
+            if page not in file.cached:
+                file.cached[page] = self.kernel.palloc.get_free_page(zeroed=False)
+                loaded += 1
+        return loaded
+
+    def evict_file(self, name: str) -> int:
+        """Drop a file's cached pages (to force cold reads in tests)."""
+        file = self.lookup(name)
+        dropped = 0
+        for page, pfn in list(file.cached.items()):
+            self.kernel.palloc.free_page(pfn)
+            del file.cached[page]
+            dropped += 1
+        return dropped
+
+    # -- read path -----------------------------------------------------------------
+
+    def read(
+        self,
+        task,
+        name: str,
+        offset: int,
+        length: int,
+        user_buffer: Optional[int] = None,
+    ) -> Tuple[int, int]:
+        """Copy ``length`` bytes to the user; returns ``(bytes, disk_wait)``.
+
+        Charges the per-page bookkeeping and the line-by-line copy through
+        the cache model.  ``disk_wait`` is the total cycles the task must
+        sleep for cold pages (the scheduler turns it into idle time).
+        """
+        file = self.lookup(name)
+        if offset >= file.size:
+            return 0, 0
+        length = min(length, file.size - offset)
+        kernel = self.kernel
+        machine = kernel.machine
+        total_wait = 0
+        copied = 0
+        while copied < length:
+            page = (offset + copied) >> PAGE_SHIFT
+            in_page = min(
+                length - copied, PAGE_SIZE - ((offset + copied) & (PAGE_SIZE - 1))
+            )
+            pfn, wait = self.page_frame(file, page)
+            total_wait += wait
+            machine.clock.add(FS_PER_PAGE_CYCLES, "fs")
+            kernel.touch_kernel("fs")
+            lines = max(1, (in_page + machine.dcache.line_size - 1)
+                        // machine.dcache.line_size)
+            src_ea = kernel.kernel_ea_for_frame(pfn)
+            if user_buffer is None:
+                # Reader discards (lmbench-style bandwidth read): kernel
+                # still streams the source through the cache.
+                kernel.kernel_copy_lines(src_ea, None, lines)
+            else:
+                kernel.kernel_copy_lines(src_ea, user_buffer + copied, lines)
+            copied += in_page
+        return copied, total_wait

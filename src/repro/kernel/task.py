@@ -1,0 +1,121 @@
+"""Task and address-space structures (task_struct / mm_struct).
+
+The pieces the paper's optimizations touch directly: the per-mm VSID set
+the lazy flush swaps out (§7), the VMA list that mmap/munmap edit, and
+the page-table tree the miss handlers walk (§6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import KernelPanic
+from repro.kernel.pagetable import TwoLevelPageTable
+from repro.kernel.vsid import NUM_USER_SEGMENTS, kernel_vsids
+from repro.params import PAGE_SIZE
+
+
+class TaskState(enum.Enum):
+    RUNNING = "running"
+    READY = "ready"
+    SLEEPING = "sleeping"
+    EXITED = "exited"
+
+
+@dataclass
+class Vma:
+    """One virtual memory area: [start, end), page aligned."""
+
+    start: int
+    end: int
+    writable: bool = True
+    #: Name of the backing file, or None for anonymous memory.
+    file: Optional[str] = None
+    #: File offset of the area's first byte (file-backed areas).
+    file_offset: int = 0
+    name: str = "anon"
+
+    def __post_init__(self):
+        if self.start & (PAGE_SIZE - 1) or self.end & (PAGE_SIZE - 1):
+            raise KernelPanic(
+                f"VMA not page aligned: {self.start:#x}..{self.end:#x}"
+            )
+        if self.start >= self.end:
+            raise KernelPanic(f"empty VMA: {self.start:#x}..{self.end:#x}")
+
+    def contains(self, ea: int) -> bool:
+        return self.start <= ea < self.end
+
+    @property
+    def pages(self) -> int:
+        return (self.end - self.start) // PAGE_SIZE
+
+
+class Mm:
+    """An address space: page table, VSIDs, VMAs."""
+
+    def __init__(self, page_table: TwoLevelPageTable, user_vsids: List[int]):
+        if len(user_vsids) != NUM_USER_SEGMENTS:
+            raise KernelPanic(
+                f"expected {NUM_USER_SEGMENTS} user VSIDs, got {len(user_vsids)}"
+            )
+        self.page_table = page_table
+        self.user_vsids = list(user_vsids)
+        self.vmas: List[Vma] = []
+        #: §5.1's per-process framebuffer BAT (set by sys_ioremap_bat).
+        self.io_bat = None
+        #: Resident page frames owned by this mm: ea_page_base -> pfn.
+        self.resident = {}
+        #: Frames shared with the page cache (not freed at teardown).
+        self.shared_pages = set()
+
+    def segment_vsids(self) -> List[int]:
+        """All 16 segment-register values for this address space."""
+        return list(self.user_vsids) + kernel_vsids()
+
+    def find_vma(self, ea: int) -> Optional[Vma]:
+        for vma in self.vmas:
+            if vma.contains(ea):
+                return vma
+        return None
+
+    def add_vma(self, vma: Vma) -> Vma:
+        for existing in self.vmas:
+            if vma.start < existing.end and existing.start < vma.end:
+                raise KernelPanic(
+                    f"overlapping VMAs: new {vma.start:#x}..{vma.end:#x} vs "
+                    f"{existing.start:#x}..{existing.end:#x}"
+                )
+        self.vmas.append(vma)
+        self.vmas.sort(key=lambda area: area.start)
+        return vma
+
+    def remove_vma(self, vma: Vma) -> None:
+        self.vmas.remove(vma)
+
+    @property
+    def rss(self) -> int:
+        return len(self.resident)
+
+
+@dataclass
+class Task:
+    """A schedulable process."""
+
+    pid: int
+    name: str
+    mm: Mm
+    state: TaskState = TaskState.READY
+    exit_code: Optional[int] = None
+    #: Cycle timestamp of the last dispatch (for accounting only).
+    last_scheduled: int = 0
+    #: Per-task deterministic RNG seed used by workload trace generators.
+    seed: int = 0
+
+    def __hash__(self):
+        return self.pid
+
+    def __eq__(self, other):
+        return isinstance(other, Task) and other.pid == self.pid

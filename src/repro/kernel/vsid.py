@@ -1,0 +1,173 @@
+"""VSID allocation strategies (§5.2 and §7).
+
+The hash function relies on VSIDs for variation ("the logical address
+spaces of processes tend to be similar"), so how VSIDs are derived
+decides both hash-table spread and whether lazy flushing is possible:
+
+* :class:`PidScatterVsids` — the original strategy: VSID = PID times a
+  scatter constant, plus the segment number.  §5.2 tunes the constant
+  against the miss histogram; a power-of-two constant creates hot spots
+  because the low hash bits lose diversity.  A process's VSIDs are fixed
+  for life, so invalidating its translations requires the expensive
+  hash-table search.
+
+* :class:`ContextCounterVsids` — §7's mechanism: "keep a counter of
+  memory-management contexts so we could provide unique numbers for use
+  as VSIDs instead of using the PID".  Bumping a context gives it fresh
+  VSIDs; the old ones become *zombies* — still marked valid in the hash
+  table and TLB, but unable to match any live process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import ConfigError, KernelPanic
+from repro.params import NUM_SEGMENT_REGISTERS, VSID_MASK
+
+#: User code/data live in segments 0..11; 12..15 belong to the kernel.
+NUM_USER_SEGMENTS = 12
+
+#: Kernel VSIDs sit at the very top of VSID space, out of the way of any
+#: counter- or PID-derived user VSID.
+KERNEL_VSID_BASE = VSID_MASK - NUM_SEGMENT_REGISTERS
+
+
+def kernel_vsids() -> List[int]:
+    """The four fixed VSIDs for kernel segments 12..15."""
+    return [KERNEL_VSID_BASE + index for index in range(12, 16)]
+
+
+class VsidAllocatorBase:
+    """Common live/zombie bookkeeping for both strategies."""
+
+    def __init__(self):
+        self._live: Set[int] = set(kernel_vsids())
+        self._zombies: Set[int] = set()
+        self.bumps = 0
+
+    def is_live(self, vsid: int) -> bool:
+        """Whether any current context (or the kernel) owns this VSID."""
+        return vsid in self._live
+
+    def is_zombie(self, vsid: int) -> bool:
+        return vsid in self._zombies
+
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def _make_live(self, vsids: List[int]) -> None:
+        for vsid in vsids:
+            if vsid in self._live:
+                raise KernelPanic(f"VSID {vsid:#x} allocated twice")
+            self._live.add(vsid)
+            self._zombies.discard(vsid)
+
+    def _retire(self, vsids: List[int]) -> None:
+        for vsid in vsids:
+            self._live.discard(vsid)
+            self._zombies.add(vsid)
+
+    def retire(self, vsids: List[int]) -> None:
+        """Context destroyed (exit): its VSIDs become zombies."""
+        self._retire(vsids)
+
+
+class PidScatterVsids(VsidAllocatorBase):
+    """VSID = PID * scatter_constant + segment (the original strategy)."""
+
+    def __init__(self, scatter_constant: int):
+        super().__init__()
+        if scatter_constant < NUM_USER_SEGMENTS:
+            # A smaller constant would make neighbouring PIDs share
+            # VSIDs — two address spaces aliasing each other.
+            raise ConfigError(
+                "PID scatter constant must be >= "
+                f"{NUM_USER_SEGMENTS} (got {scatter_constant})"
+            )
+        self.scatter_constant = scatter_constant
+
+    def allocate(self, pid: int) -> List[int]:
+        """VSIDs for user segments 0..11 of a new process."""
+        vsids = [
+            ((pid * self.scatter_constant) + segment) & VSID_MASK
+            for segment in range(NUM_USER_SEGMENTS)
+        ]
+        self._make_live(vsids)
+        return vsids
+
+    def bump(self, old_vsids: List[int], pid: int) -> List[int]:
+        raise KernelPanic(
+            "lazy VSID flush requires the context-counter allocator; "
+            "PID-derived VSIDs are fixed for the process lifetime"
+        )
+
+
+class ContextCounterVsids(VsidAllocatorBase):
+    """Monotonic context counter, scattered by a non-power-of-two multiplier."""
+
+    def __init__(self, scatter_constant: int = 37, first_context: int = 1):
+        super().__init__()
+        if scatter_constant <= 0:
+            raise ConfigError("scatter constant must be positive")
+        self.scatter_constant = scatter_constant
+        self._next_context = first_context
+        #: Contexts available before user VSIDs would collide with the
+        #: reserved kernel VSID block.
+        self.max_context = (KERNEL_VSID_BASE // scatter_constant) - 2
+        #: Called when the counter wraps; the kernel installs a hook that
+        #: flushes everything so retired VSID numbers are safe to reuse.
+        self.on_wrap = None
+
+    def _next(self) -> int:
+        if self._next_context > self.max_context:
+            if self.on_wrap is None:
+                raise KernelPanic("VSID context counter wrapped with no handler")
+            # The wrap handler must flush all translations, hard-reset
+            # this allocator, and renumber every live context.
+            self.on_wrap()
+            if self._next_context > self.max_context:
+                raise KernelPanic("context space exhausted even after wrap")
+        context = self._next_context
+        self._next_context = context + 1
+        return context
+
+    def hard_reset(self) -> None:
+        """Restart the counter after a flush-everything event.
+
+        Every translation derived from old VSIDs must already be gone
+        from the TLB and hash table; the caller then re-allocates VSIDs
+        for each live context.
+        """
+        self._next_context = 1
+        self._live = set(kernel_vsids())
+        self._zombies = set()
+
+    def _vsids_for(self, context: int) -> List[int]:
+        return [
+            ((context * self.scatter_constant) + segment) & VSID_MASK
+            for segment in range(NUM_USER_SEGMENTS)
+        ]
+
+    def allocate(self, pid: int) -> List[int]:
+        """Fresh VSIDs for a new context (``pid`` ignored by design)."""
+        vsids = self._vsids_for(self._next())
+        self._make_live(vsids)
+        return vsids
+
+    def bump(self, old_vsids: List[int], pid: int) -> List[int]:
+        """The §7 lazy flush: retire the old VSIDs, hand out new ones.
+
+        Old translations left in the TLB and hash table keep their valid
+        bits but "will not match any VSIDs used by any process so
+        incorrect matches won't be made".
+        """
+        self._retire(old_vsids)
+        vsids = self._vsids_for(self._next())
+        self._make_live(vsids)
+        self.bumps += 1
+        return vsids
+
+    def reset_after_global_flush(self) -> None:
+        """After a flush-everything event, zombies are truly gone."""
+        self._zombies.clear()

@@ -1,0 +1,24 @@
+"""Table 3's operating-system comparison (§11)."""
+
+from repro.oscompare.profiles import (
+    AIX,
+    LINUX_PPC,
+    LINUX_PPC_UNOPTIMIZED,
+    MKLINUX,
+    OsProfile,
+    RHAPSODY,
+    TABLE3_PROFILES,
+)
+from repro.oscompare.runner import Table3Row, run_table3
+
+__all__ = [
+    "AIX",
+    "LINUX_PPC",
+    "LINUX_PPC_UNOPTIMIZED",
+    "MKLINUX",
+    "OsProfile",
+    "RHAPSODY",
+    "TABLE3_PROFILES",
+    "Table3Row",
+    "run_table3",
+]

@@ -1,0 +1,64 @@
+"""Run the Table 3 comparison (§11).
+
+"All tests except AIX performed on a 133MHz 604 PowerMac 9500" — every
+profile runs on the same :data:`~repro.params.M604_133` machine model
+(AIX's 43P had the same CPU at the same clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.oscompare.profiles import OsProfile, TABLE3_PROFILES
+from repro.params import M604_133, MachineSpec
+from repro.sim.simulator import Simulator
+from repro.workloads.lmbench import (
+    context_switch,
+    null_syscall,
+    pipe_bandwidth,
+    pipe_latency,
+)
+
+
+@dataclass
+class Table3Row:
+    """One OS column of Table 3."""
+
+    os: str
+    null_syscall_us: float
+    ctxsw_us: float
+    pipe_latency_us: float
+    pipe_bw_mb_s: float
+
+
+def run_table3(
+    profiles: Iterable[OsProfile] = TABLE3_PROFILES,
+    spec: MachineSpec = M604_133,
+) -> List[Table3Row]:
+    """Measure the four Table-3 points for each OS profile."""
+    rows = []
+    for profile in profiles:
+        def make_sim():
+            return Simulator(spec, profile.config)
+
+        rows.append(
+            Table3Row(
+                os=profile.name,
+                null_syscall_us=null_syscall(make_sim()),
+                ctxsw_us=context_switch(make_sim(), nproc=2),
+                pipe_latency_us=pipe_latency(make_sim()),
+                pipe_bw_mb_s=pipe_bandwidth(make_sim()),
+            )
+        )
+    return rows
+
+
+#: The numbers printed in the paper's Table 3, for comparison output.
+PAPER_TABLE3 = {
+    "Linux/PPC": (2, 6, 28, 52),
+    "Unoptimized Linux/PPC": (18, 28, 78, 36),
+    "Rhapsody 5.0": (15, 64, 161, 9),
+    "MkLinux": (19, 64, 235, 15),
+    "AIX": (11, 24, 89, 21),
+}

@@ -1,0 +1,298 @@
+"""Architected constants and calibrated cost-model parameters.
+
+Two kinds of numbers live here:
+
+* **Architected constants** — fixed by the PowerPC 32-bit architecture
+  (page size, hash geometry, TLB/BAT/segment-register counts).  These are
+  taken from the 603/604 user's manuals and from the paper's §3.
+
+* **Path costs** — cycle counts for the code paths the paper measures.
+  Wherever the paper states a number (32-cycle 603 miss invoke, 120-cycle
+  604 hardware walk, 91-cycle 604 miss interrupt, 16 memory references per
+  flushed PTE, 3 loads for a Linux PTE-tree walk) we use it verbatim.
+  The remaining knobs (memory latency, syscall entry, context-switch save
+  and restore) are calibrated **once**, here, and held fixed across every
+  experiment — no per-experiment tuning.
+
+All times inside the simulator are integer *cycles*; conversion to
+microseconds happens only at the reporting edge, using the machine clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# ---------------------------------------------------------------------------
+# Architected constants (PowerPC 32-bit, §3 of the paper)
+# ---------------------------------------------------------------------------
+
+#: Bytes per page and the shift that produces it.
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4096
+
+#: The 4 high-order EA bits select one of 16 segment registers.
+NUM_SEGMENT_REGISTERS = 16
+SEGMENT_SHIFT = 28
+SEGMENT_SIZE = 1 << SEGMENT_SHIFT  # 256 MB
+
+#: Virtual segment identifiers are 24 bits wide.
+VSID_BITS = 24
+VSID_MASK = (1 << VSID_BITS) - 1
+
+#: Page index: EA bits 4..19 (16 bits) select the page within a segment.
+PAGE_INDEX_BITS = 16
+PAGE_INDEX_MASK = (1 << PAGE_INDEX_BITS) - 1
+
+#: Physical page numbers are 20 bits (32-bit physical address space).
+PPN_BITS = 20
+
+#: Each PTEG (bucket) in the hashed page table holds eight PTEs.
+PTES_PER_GROUP = 8
+
+#: Abbreviated page index stored in a hash PTE: top 6 bits of the page index.
+API_BITS = 6
+
+#: Block address translation registers: four instruction + four data pairs.
+NUM_IBATS = 4
+NUM_DBATS = 4
+
+#: Smallest BAT block is 128 KB; sizes go up by powers of two to 256 MB.
+BAT_MIN_BLOCK = 128 * 1024
+BAT_MAX_BLOCK = 256 * 1024 * 1024
+
+#: Data-cache line size on both the 603 and 604.
+CACHE_LINE_SIZE = 32
+LINES_PER_PAGE = PAGE_SIZE // CACHE_LINE_SIZE  # 128
+
+# ---------------------------------------------------------------------------
+# Paper-stated path costs (cycles / memory references)
+# ---------------------------------------------------------------------------
+
+#: §5: "It takes 32 cycles simply to invoke and return from the handler"
+#: (603 software TLB-miss interrupt).
+C603_MISS_INVOKE_CYCLES = 32
+
+#: §5: 604 hardware hash walk "can take up to 120 instruction cycles and
+#: 16 memory accesses" when the PTE is found in the hash table.
+C604_HW_WALK_MAX_CYCLES = 120
+C604_HW_WALK_MEM_REFS = 16
+
+#: §5: if the hash table misses, the 604 interrupt "adds at least 91 more
+#: cycles to just invoke the handler".
+C604_HASH_MISS_INVOKE_CYCLES = 91
+
+#: §6.1: searching the Linux PTE tree takes "three loads in the worst case".
+LINUX_PTE_TREE_LOADS = 3
+
+#: §7: a hash-table search flush takes "16 memory references ... for each
+#: PTE being flushed" (two PTEGs of eight PTEs).
+FLUSH_SEARCH_REFS_PER_PTE = 16
+
+#: §7: ranges of 40–110 pages are commonly flushed in one shot.
+TYPICAL_FLUSH_RANGE_PAGES = (40, 110)
+
+#: §7: the tuned cutoff — invalidate the whole context beyond 20 pages.
+DEFAULT_RANGE_FLUSH_CUTOFF = 20
+
+#: §7: hash table sized at 16384 PTE slots for the 32 MB test machines
+#: ("600–700 out of 16384").
+HTAB_PTE_SLOTS = 16384
+HTAB_GROUPS = HTAB_PTE_SLOTS // PTES_PER_GROUP  # 2048
+
+#: §4: every test machine had 32 MB of RAM.
+RAM_BYTES = 32 * 1024 * 1024
+RAM_PAGES = RAM_BYTES // PAGE_SIZE  # 8192
+
+#: Linux/PPC kernel virtual base (§5.1).
+KERNELBASE = 0xC0000000
+
+# ---------------------------------------------------------------------------
+# Calibrated cost knobs (fixed across all experiments)
+# ---------------------------------------------------------------------------
+
+#: Main-memory timing for the late-90s PReP/PowerMac parts, in
+#: nanoseconds.  A *word* access (single beat — cache-inhibited loads,
+#: in-page table probes) pays the access latency; a *line fill* (32-byte
+#: burst) pays latency plus the burst beats.  The paper notes the
+#: 200 MHz 604 machine had "significantly faster main memory and a
+#: better board design"; it gets the FAST timings.
+MEM_WORD_NS = 60.0
+MEM_LINE_FILL_NS = 280.0
+FAST_MEM_WORD_NS = 50.0
+FAST_MEM_LINE_FILL_NS = 250.0
+
+#: L1 cache hit cost.
+L1_HIT_CYCLES = 1
+
+#: Fixed instruction cost of copying one cache line in a tight kernel loop
+#: (eight word loads + eight word stores, scheduled).
+LINE_COPY_CYCLES = 16
+
+#: Fixed instruction cost of zeroing one cache line (dcbz-free path, eight
+#: word stores).
+LINE_CLEAR_CYCLES = 8
+
+#: Optimized syscall entry+exit path (hand-scheduled assembly prologue).
+SYSCALL_FAST_CYCLES = 220
+
+#: Unoptimized syscall entry+exit (full state save, C dispatch).
+SYSCALL_SLOW_CYCLES = 2200
+
+#: Optimized context-switch core path: register save/restore plus loading
+#: the 16 segment registers from the task struct.
+CTXSW_FAST_CYCLES = 480
+
+#: Unoptimized context-switch core path (C-heavy, full state save, no
+#: hand scheduling).
+CTXSW_SLOW_CYCLES = 3000
+
+#: Extra cycles the original C-coded miss handler spends over the 32-cycle
+#: interrupt floor: MMU re-enable, full state save, call into C, return.
+C_HANDLER_EXTRA_CYCLES = 210
+
+#: Cycles to bump a context's VSIDs: reset the value in the task struct,
+#: reload the 16 segment registers, increment the context counter.
+VSID_BUMP_CYCLES = 56
+
+#: Cycles for one `tlbie` (TLB invalidate entry) broadcast.
+TLBIE_CYCLES = 12
+
+#: Per-page bookkeeping when a range flush walks the Linux PTE tree.
+FLUSH_PTE_TREE_CYCLES = 6
+
+#: Check in get_free_page() for a pre-cleared page (lock-free list pop).
+PRECLEARED_CHECK_CYCLES = 4
+
+#: Scheduler pick-next cost (short run queues in these benchmarks).
+SCHED_PICK_CYCLES = 60
+
+#: User instruction cycles per cache line touched in a workload trace —
+#: the ALU work the program does on the data it loads (the simulator
+#: otherwise charges only memory-system costs).
+USER_COMPUTE_PER_LINE_CYCLES = 22
+
+#: Pipe wakeup: mark reader runnable, requeue.
+PIPE_WAKEUP_CYCLES = 90
+
+# ---------------------------------------------------------------------------
+# Machine specifications
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one of the paper's test machines.
+
+    The TLB and cache geometries come from the 603/604 user's manuals; the
+    paper quotes the totals (603: 128 TLB entries, 604: 256; the 604 has
+    "double the size TLB and cache").
+    """
+
+    name: str
+    clock_mhz: int
+    #: True on the 604 family: the hardware walks the hash table on a TLB
+    #: miss.  False on the 603: a software interrupt handles every miss.
+    hardware_tablewalk: bool
+    itlb_entries: int
+    dtlb_entries: int
+    tlb_assoc: int
+    icache_bytes: int
+    dcache_bytes: int
+    cache_assoc: int
+    mem_word_ns: float = MEM_WORD_NS
+    mem_line_fill_ns: float = MEM_LINE_FILL_NS
+    #: Board-level unified L2 (all the paper's test machines had one).
+    l2_bytes: int = 512 * 1024
+    l2_hit_ns: float = 100.0
+
+    @property
+    def mem_cycles(self) -> int:
+        """Cache-line fill cost in CPU cycles at this clock."""
+        return max(1, round(self.clock_mhz * self.mem_line_fill_ns / 1000.0))
+
+    @property
+    def word_cycles(self) -> int:
+        """Single-beat (cache-inhibited) memory access cost in cycles."""
+        return max(1, round(self.clock_mhz * self.mem_word_ns / 1000.0))
+
+    @property
+    def l2_hit_cycles(self) -> int:
+        """L2 hit (line transfer from the board cache) cost in cycles."""
+        return max(1, round(self.clock_mhz * self.l2_hit_ns / 1000.0))
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert a cycle count to microseconds at this machine's clock."""
+        return cycles / self.clock_mhz
+
+    def us_to_cycles(self, us: float) -> int:
+        return int(round(us * self.clock_mhz))
+
+
+def _spec_603(clock_mhz: int) -> MachineSpec:
+    return MachineSpec(
+        name=f"603 {clock_mhz}MHz",
+        clock_mhz=clock_mhz,
+        hardware_tablewalk=False,
+        itlb_entries=64,
+        dtlb_entries=64,
+        tlb_assoc=2,
+        icache_bytes=16 * 1024,
+        dcache_bytes=16 * 1024,
+        cache_assoc=4,
+        l2_bytes=256 * 1024,
+    )
+
+
+def _spec_604(
+    clock_mhz: int,
+    mem_word_ns: float = MEM_WORD_NS,
+    mem_line_fill_ns: float = MEM_LINE_FILL_NS,
+) -> MachineSpec:
+    return MachineSpec(
+        name=f"604 {clock_mhz}MHz",
+        clock_mhz=clock_mhz,
+        hardware_tablewalk=True,
+        itlb_entries=128,
+        dtlb_entries=128,
+        tlb_assoc=2,
+        icache_bytes=32 * 1024,
+        dcache_bytes=32 * 1024,
+        cache_assoc=4,
+        mem_word_ns=mem_word_ns,
+        mem_line_fill_ns=mem_line_fill_ns,
+    )
+
+
+#: The machines the paper benchmarks on.
+M603_133 = _spec_603(133)
+M603_180 = _spec_603(180)
+M604_133 = _spec_604(133)
+M604_185 = _spec_604(185)
+#: §6.2: the 200 MHz 604 sat on "a machine with significantly faster main
+#: memory and a better board design".
+M604_200 = _spec_604(
+    200,
+    mem_word_ns=FAST_MEM_WORD_NS,
+    mem_line_fill_ns=FAST_MEM_LINE_FILL_NS,
+)
+
+ALL_MACHINES = (M603_133, M603_180, M604_133, M604_185, M604_200)
+
+
+def machine_by_name(name: str) -> MachineSpec:
+    """Look up a machine spec by its display name (e.g. ``"604 185MHz"``)."""
+    for spec in ALL_MACHINES:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown machine {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Trace scaling
+# ---------------------------------------------------------------------------
+
+#: The paper's kernel compile produces ~219M TLB misses over ~10 minutes of
+#: real time.  We run traces scaled down by this factor and report both the
+#: simulated and the rescaled numbers; the factor is fixed, printed by the
+#: benches, and identical for every configuration being compared.
+KBUILD_TRACE_SCALE = 2000

@@ -1,0 +1,12 @@
+"""Performance-analysis helpers: histograms and summary statistics."""
+
+from repro.perf.histogram import Histogram, occupancy_histogram
+from repro.perf.stats import RunStats, geometric_mean, summarize
+
+__all__ = [
+    "Histogram",
+    "RunStats",
+    "geometric_mean",
+    "occupancy_histogram",
+    "summarize",
+]

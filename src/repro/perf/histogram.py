@@ -1,0 +1,77 @@
+"""Histograms for hash-table analysis.
+
+§5.2: "We tuned the VSID generation algorithm by making Linux keep a
+hash table miss histogram and adjusting the constant until hot-spots
+disappeared."  This module provides that histogram plus hot-spot
+metrics: a distribution is hot-spotted when a few buckets absorb a large
+share of the load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram with hot-spot diagnostics."""
+
+    counts: List[int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def buckets(self) -> int:
+        return len(self.counts)
+
+    def nonzero_fraction(self) -> float:
+        """Fraction of buckets with any load."""
+        if not self.counts:
+            return 0.0
+        return sum(1 for count in self.counts if count) / len(self.counts)
+
+    def max_load(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    def hot_spot_ratio(self) -> float:
+        """Max bucket load over the mean load (1.0 = perfectly even)."""
+        total = self.total
+        if not total or not self.counts:
+            return 0.0
+        mean = total / len(self.counts)
+        return self.max_load() / mean
+
+    def top_share(self, fraction: float = 0.01) -> float:
+        """Share of total load absorbed by the hottest ``fraction`` buckets."""
+        total = self.total
+        if not total:
+            return 0.0
+        top_n = max(1, int(len(self.counts) * fraction))
+        hottest = sorted(self.counts, reverse=True)[:top_n]
+        return sum(hottest) / total
+
+    def entropy_efficiency(self) -> float:
+        """Normalized Shannon entropy of the load (1.0 = perfectly spread)."""
+        total = self.total
+        if not total or len(self.counts) <= 1:
+            return 0.0
+        entropy = 0.0
+        for count in self.counts:
+            if count:
+                p = count / total
+                entropy -= p * math.log2(p)
+        return entropy / math.log2(len(self.counts))
+
+
+def occupancy_histogram(htab) -> Histogram:
+    """Per-bucket valid-PTE histogram from a hashed page table."""
+    return Histogram(htab.bucket_load_histogram())
+
+
+def miss_histogram(htab) -> Histogram:
+    """Per-bucket miss histogram (the §5.2 tuning instrument)."""
+    return Histogram(list(htab.bucket_miss_histogram))

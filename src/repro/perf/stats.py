@@ -1,0 +1,74 @@
+"""Summary statistics for repeated benchmark runs.
+
+§4: "Each of the test results comes from more than 10 of the benchmark
+runs averaged.  We ignore benchmark differences that were sporadic."
+``summarize`` provides the same discipline: mean, spread, and a
+sporadic-run filter that drops outliers beyond a configurable multiple
+of the interquartile range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class RunStats:
+    """Mean/median/spread of a set of benchmark runs."""
+
+    n: int
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (spread relative to the mean)."""
+        return self.stdev / self.mean if self.mean else 0.0
+
+
+def _median(sorted_values: Sequence[float]) -> float:
+    n = len(sorted_values)
+    mid = n // 2
+    if n % 2:
+        return float(sorted_values[mid])
+    return (sorted_values[mid - 1] + sorted_values[mid]) / 2.0
+
+
+def summarize(values: Sequence[float], drop_sporadic: bool = False) -> RunStats:
+    """Summarize runs, optionally dropping sporadic outliers (§4)."""
+    if not values:
+        raise ValueError("no runs to summarize")
+    data = sorted(float(v) for v in values)
+    if drop_sporadic and len(data) >= 4:
+        q1 = _median(data[: len(data) // 2])
+        q3 = _median(data[(len(data) + 1) // 2:])
+        iqr = q3 - q1
+        low, high = q1 - 3.0 * iqr, q3 + 3.0 * iqr
+        kept = [v for v in data if low <= v <= high]
+        if kept:
+            data = kept
+    n = len(data)
+    mean = sum(data) / n
+    variance = sum((v - mean) ** 2 for v in data) / n if n > 1 else 0.0
+    return RunStats(
+        n=n,
+        mean=mean,
+        median=_median(data),
+        stdev=math.sqrt(variance),
+        minimum=data[0],
+        maximum=data[-1],
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (for aggregating speedup ratios)."""
+    if not values:
+        raise ValueError("no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,37 @@
+"""Simulation engine: cycle ledger, traces, processes, and the simulator.
+
+``Executive``, ``Simulator`` and ``boot`` are provided lazily: the
+machine model imports :mod:`repro.sim.clock`, so importing them eagerly
+here would create an import cycle.
+"""
+
+from repro.sim.clock import CycleLedger
+from repro.sim.trace import (
+    PageVisit,
+    WorkingSetTrace,
+    sequential_trace,
+    strided_trace,
+)
+
+__all__ = [
+    "CycleLedger",
+    "Executive",
+    "PageVisit",
+    "Simulator",
+    "WorkingSetTrace",
+    "boot",
+    "sequential_trace",
+    "strided_trace",
+]
+
+
+def __getattr__(name):
+    if name == "Executive":
+        from repro.sim.process import Executive
+
+        return Executive
+    if name in ("Simulator", "boot"):
+        from repro.sim import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

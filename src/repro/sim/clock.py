@@ -1,0 +1,46 @@
+"""The simulator's cycle ledger.
+
+Every cost in the model is charged here, tagged with a category so the
+benchmarks can break time down the way the paper does (time in TLB
+reloads vs flushes vs user work vs syscall entry).  Times are integer
+cycles; conversion to wall-clock happens only at the reporting edge.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+
+class CycleLedger:
+    """Accumulates cycles by category."""
+
+    def __init__(self):
+        self.total = 0
+        self._by_category: Counter = Counter()
+
+    def add(self, cycles: int, category: str = "other") -> int:
+        """Charge ``cycles`` to ``category``; returns the amount charged."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle charge: {cycles}")
+        self.total += cycles
+        self._by_category[category] += cycles
+        return cycles
+
+    def category(self, name: str) -> int:
+        return self._by_category.get(name, 0)
+
+    def breakdown(self) -> Dict[str, int]:
+        return dict(self._by_category)
+
+    def snapshot(self) -> int:
+        """Current total, for elapsed-time measurement."""
+        return self.total
+
+    def since(self, mark: int) -> int:
+        """Cycles elapsed since a snapshot."""
+        return self.total - mark
+
+    def reset(self) -> None:
+        self.total = 0
+        self._by_category.clear()

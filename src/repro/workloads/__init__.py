@@ -1,0 +1,31 @@
+"""The paper's workloads: LmBench points, the kernel compile, and mixes."""
+
+from repro.workloads.lmbench import (
+    LmbenchResult,
+    context_switch,
+    file_reread,
+    lmbench_suite,
+    mmap_latency,
+    null_syscall,
+    pipe_bandwidth,
+    pipe_latency,
+    process_start,
+)
+from repro.workloads.kbuild import KbuildResult, kernel_compile
+from repro.workloads.mixes import MixResult, multiprogram_mix
+
+__all__ = [
+    "KbuildResult",
+    "LmbenchResult",
+    "MixResult",
+    "context_switch",
+    "file_reread",
+    "kernel_compile",
+    "lmbench_suite",
+    "mmap_latency",
+    "multiprogram_mix",
+    "null_syscall",
+    "pipe_bandwidth",
+    "pipe_latency",
+    "process_start",
+]

@@ -1,0 +1,228 @@
+"""The kernel-compile benchmark (§4's "informal Linux benchmark").
+
+"The mix of process creation, file I/O, and computation in the kernel
+compile is a good guess at a typical user load."  The workload is a
+`make` driver that, per translation unit: forks, execs a compiler image,
+reads the source file in pieces interleaved with computation (cold reads
+sleep on the simulated disk — giving the idle task its windows), runs
+working-set computation phases, grows its heap for the output, and
+exits.
+
+Two profiles matching the two §5/§9 regimes:
+
+* :data:`TLB_STORM` — a ~1.6 MB compiler heap, far beyond TLB reach, the
+  regime behind the paper's 219M-miss compiles.  Used by the BAT and
+  fast-handler experiments.
+* :data:`CACHE_RESIDENT` — a hot set that fits in L1, the regime where
+  §9's idle-task page clearing effects (cache pollution vs pre-cleared
+  pages) dominate.
+
+The real compile is ~10 minutes of 1999 hardware; we run a scaled trace
+(see ``KBUILD_TRACE_SCALE`` in :mod:`repro.params`) and report both raw
+simulated numbers and the shape metrics the paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.params import KBUILD_TRACE_SCALE, PAGE_SIZE
+from repro.sim.simulator import Simulator
+from repro.sim.trace import WorkingSetTrace
+
+#: Compiler image text size (cc1 was a fat binary for the era).
+CC1_TEXT_PAGES = 48
+
+
+@dataclass(frozen=True)
+class KbuildProfile:
+    """Shape of one compile workload."""
+
+    name: str
+    #: Heap pages the compiler touches.
+    data_pages: int
+    #: Working-set visits per translation unit.
+    visits: int
+    #: Fraction of the heap in the hot working set (1.0 = uniform).
+    hot_fraction: float
+    #: Cache lines touched per visit.
+    lines_per_visit: int
+    #: Bytes of source (and headers) read per unit.  Cold page reads are
+    #: disk waits — the idle task's windows — interleaved with the work
+    #: phases, so this sets how I/O-bound the compile is.
+    source_bytes: int = 24 * 1024
+
+    @property
+    def source_pages(self) -> int:
+        return (self.source_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+    @property
+    def phases(self) -> int:
+        return self.source_pages
+
+
+#: ~1.6 MB heap, uniform access: a TLB miss every few visits, like the
+#: paper's 219M-miss compiles (§5.1's regime).
+TLB_STORM = KbuildProfile(
+    name="tlb-storm",
+    data_pages=400,
+    visits=6000,
+    hot_fraction=1.0,
+    lines_per_visit=6,
+)
+
+#: An L2-resident working set with plenty of interleaved disk I/O: §9's
+#: regime, where idle-task page clearing through the cache destroys the
+#: working set that would otherwise stay resident.
+CACHE_RESIDENT = KbuildProfile(
+    name="cache-resident",
+    data_pages=200,
+    visits=4000,
+    hot_fraction=0.8,
+    lines_per_visit=16,
+    source_bytes=96 * 1024,
+)
+
+
+@dataclass
+class KbuildResult:
+    """One kernel-compile run's measurements."""
+
+    label: str
+    machine: str
+    units: int
+    profile: str
+    wall_cycles: int
+    wall_ms: float
+    tlb_misses: int
+    htab_misses: int
+    dcache_misses: int
+    icache_misses: int
+    kernel_tlb_entries_high_water: int
+    pages_precleared: int
+    precleared_used: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    breakdown: Dict[str, int] = field(default_factory=dict)
+
+    #: The fixed trace-scale factor (identical for every configuration
+    #: being compared; see DESIGN.md §1 and params.KBUILD_TRACE_SCALE).
+    trace_scale: int = KBUILD_TRACE_SCALE
+
+    @property
+    def full_scale_tlb_misses(self) -> int:
+        """TLB misses rescaled to the paper's full-compile magnitude."""
+        return self.tlb_misses * self.trace_scale
+
+    @property
+    def full_scale_wall_minutes(self) -> float:
+        """Wall clock rescaled to the paper's full-compile magnitude."""
+        return self.wall_ms * self.trace_scale / 60000.0
+
+
+def _compile_unit_body(child, unit: int, profile: KbuildProfile, seed: int):
+    """The compiler process for one translation unit."""
+
+    def body(task):
+        yield (
+            "exec",
+            "cc1",
+            {
+                "text_pages": CC1_TEXT_PAGES,
+                "data_pages": profile.data_pages + 8,
+                "stack_pages": 8,
+            },
+        )
+        trace = WorkingSetTrace(
+            code_base=0x01000000,
+            code_pages=min(24, CC1_TEXT_PAGES),
+            data_base=0x10000000 + 2 * PAGE_SIZE,
+            data_pages=profile.data_pages,
+            hot_fraction=profile.hot_fraction,
+            write_fraction=0.35,
+            drift=0.02,
+            lines_per_visit=profile.lines_per_visit,
+            seed=seed,
+        )
+        buf = 0x10000000
+        per_phase = max(profile.visits // profile.phases, 1)
+        # Interleave source reading (cold: a disk wait and an idle-task
+        # window) with computation phases, the way cpp/cc1 pipelines do.
+        for phase in range(profile.phases):
+            offset = phase * PAGE_SIZE
+            if offset < profile.source_bytes:
+                yield ("read_file", f"src{unit}.c", offset, PAGE_SIZE, buf)
+            yield ("work", trace.visit_list(per_phase))
+        # Emit the object file: grow the heap and fill it (ends with the
+        # write-behind sync that gives one more idle window).
+        yield ("brk", 6)
+        emit_base = 0x10000000 + (profile.data_pages + 8) * PAGE_SIZE
+        for page in range(6):
+            yield ("touch", emit_base + page * PAGE_SIZE, 128, True)
+        yield ("sleep", 40000)
+        yield ("exit", 0)
+
+    return body(child)
+
+
+def kernel_compile(
+    sim: Simulator,
+    units: int = 6,
+    profile: KbuildProfile = TLB_STORM,
+    label: str = "",
+) -> KbuildResult:
+    """Run a scaled kernel compile; returns shape metrics."""
+    kernel = sim.kernel
+    executive = sim.executive
+    for unit in range(units):
+        kernel.fs.create(f"src{unit}.c", profile.source_bytes)
+    kernel.create_image("bin:cc1", CC1_TEXT_PAGES)
+
+    high_water = [0]
+
+    def make_factory(task):
+        def body(t):
+            yield ("mark", "kbuild_start")
+            for unit in range(units):
+                child = yield (
+                    "fork",
+                    lambda c, unit=unit: _compile_unit_body(
+                        c, unit, profile, seed=unit
+                    ),
+                )
+                yield ("waitpid", child)
+                # make stats the next few files (a short disk wait).
+                yield ("sleep", 20000)
+                # Sample the kernel TLB footprint between units.
+                footprint = (
+                    sim.machine.itlb.kernel_entries()
+                    + sim.machine.dtlb.kernel_entries()
+                )
+                high_water[0] = max(high_water[0], footprint)
+            yield ("mark", "kbuild_end")
+
+        return body(task)
+
+    executive.spawn("make", make_factory, text_pages=12, data_pages=12)
+    start_counters = sim.counters()
+    sim.run()
+    delta = executive.mark_deltas("kbuild_start", "kbuild_end")[0]
+    counters = sim.machine.monitor.delta(start_counters)
+    tlb = counters.get("itlb_miss", 0) + counters.get("dtlb_miss", 0)
+    return KbuildResult(
+        label=label or profile.name,
+        machine=sim.spec.name,
+        units=units,
+        profile=profile.name,
+        wall_cycles=delta,
+        wall_ms=sim.cycles_to_us(delta) / 1000.0,
+        tlb_misses=tlb,
+        htab_misses=counters.get("htab_miss", 0),
+        dcache_misses=counters.get("dcache_miss", 0),
+        icache_misses=counters.get("icache_miss", 0),
+        kernel_tlb_entries_high_water=high_water[0],
+        pages_precleared=counters.get("pages_precleared", 0),
+        precleared_used=counters.get("precleared_page_used", 0),
+        counters=counters,
+        breakdown=sim.breakdown(),
+    )

@@ -1,0 +1,437 @@
+"""LmBench benchmark points (McVoy, USENIX '96), reimplemented against
+the simulated kernel.
+
+Each point exercises the same kernel paths the real tool does:
+
+* ``null_syscall`` — lat_syscall: getpid in a loop.
+* ``context_switch`` — lat_ctx: a ring of processes passing a pipe token,
+  optionally touching a per-process working set each activation.
+* ``pipe_latency`` — lat_pipe: two processes ping-ponging one byte.
+* ``pipe_bandwidth`` — bw_pipe: one process streaming bytes to another.
+* ``file_reread`` — bw_file_rd: re-reading a page-cache-warm file.
+* ``mmap_latency`` — lat_mmap: mapping and unmapping a file region
+  (the §7 headline: 3240 µs -> 41 µs).
+* ``process_start`` — lat_proc: fork + exec + exit of a small program.
+
+Every function takes a booted :class:`~repro.sim.simulator.Simulator`
+and returns paper units (µs or MB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.params import PAGE_SIZE
+from repro.sim.simulator import Simulator
+
+#: Default byte count streamed by the bandwidth points.
+BW_TOTAL_BYTES = 2 * 1024 * 1024
+#: lat_mmap region size (fixed across all configurations).
+MMAP_REGION_BYTES = 4 * 1024 * 1024
+#: bw_file_rd file size.
+FILE_REREAD_BYTES = 4 * 1024 * 1024
+#: read() chunk used by the file benchmarks.
+FILE_CHUNK = 64 * 1024
+
+
+@dataclass
+class LmbenchResult:
+    """One machine/config's LmBench summary (a column of Tables 1–3)."""
+
+    machine: str
+    label: str
+    null_syscall_us: Optional[float] = None
+    ctxsw_us: Optional[float] = None
+    ctxsw8_us: Optional[float] = None
+    pipe_latency_us: Optional[float] = None
+    pipe_bw_mb_s: Optional[float] = None
+    file_reread_mb_s: Optional[float] = None
+    mmap_latency_us: Optional[float] = None
+    process_start_ms: Optional[float] = None
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# lat_syscall
+# ---------------------------------------------------------------------------
+
+
+def null_syscall(sim: Simulator, iterations: int = 200) -> float:
+    """Per-call getpid latency in µs."""
+    executive = sim.executive
+
+    def factory(task):
+        def body(t):
+            for _ in range(20):
+                yield ("getpid",)
+            yield ("mark", "null_start")
+            for _ in range(iterations):
+                yield ("getpid",)
+            yield ("mark", "null_end")
+
+        return body(task)
+
+    executive.spawn("lat_syscall", factory)
+    sim.run()
+    delta = executive.mark_deltas("null_start", "null_end")[0]
+    return sim.cycles_to_us(delta / iterations)
+
+
+# ---------------------------------------------------------------------------
+# lat_ctx
+# ---------------------------------------------------------------------------
+
+
+def context_switch(
+    sim: Simulator,
+    nproc: int = 2,
+    iterations: int = 40,
+    working_set_kb: int = 0,
+    warmup_laps: int = 4,
+) -> float:
+    """Per-switch latency (µs) for a token ring of ``nproc`` processes.
+
+    Like lat_ctx, the pipe read/write overhead is measured separately (a
+    single process passing the token to itself, no switches) and
+    subtracted, so the result is the cost of the switch itself.
+    """
+    kernel = sim.kernel
+    executive = sim.executive
+    ws_pages = (working_set_kb * 1024) // PAGE_SIZE
+    pipes = [kernel.pipes.create().ident for _ in range(nproc)]
+    self_pipe = kernel.pipes.create().ident
+    data_pages = max(8, ws_pages + 2)
+
+    def overhead_factory(task):
+        def body(t):
+            buf = 0x10000000
+            for _ in range(5):
+                yield ("pipe_write", self_pipe, 1, buf)
+                yield ("pipe_read", self_pipe, 1, buf)
+            yield ("mark", "ovh_start")
+            for _ in range(iterations):
+                yield ("pipe_write", self_pipe, 1, buf)
+                yield ("pipe_read", self_pipe, 1, buf)
+                for page in range(ws_pages):
+                    yield ("touch", 0x10002000 + page * PAGE_SIZE, 128, False)
+            yield ("mark", "ovh_end")
+
+        return body(task)
+
+    laps = warmup_laps + iterations
+
+    def member_factory(index):
+        def factory(task):
+            buf = 0x10000000
+
+            def body(t):
+                read_pipe = pipes[index]
+                write_pipe = pipes[(index + 1) % nproc]
+                if index == 0:
+                    # Inject the token, run `laps` circuits, then absorb
+                    # the final token so every member's counts balance.
+                    yield ("pipe_write", write_pipe, 1, buf)
+                    for lap in range(laps):
+                        if lap == warmup_laps:
+                            yield ("mark", "ctx_start")
+                        yield ("pipe_read", read_pipe, 1, buf)
+                        for page in range(ws_pages):
+                            yield ("touch", 0x10002000 + page * PAGE_SIZE,
+                                   128, False)
+                        yield ("pipe_write", write_pipe, 1, buf)
+                    yield ("mark", "ctx_end")
+                    yield ("pipe_read", read_pipe, 1, buf)
+                else:
+                    for _lap in range(laps + 1):
+                        yield ("pipe_read", read_pipe, 1, buf)
+                        for page in range(ws_pages):
+                            yield ("touch", 0x10002000 + page * PAGE_SIZE,
+                                   128, False)
+                        yield ("pipe_write", write_pipe, 1, buf)
+
+            return body(task)
+
+        return factory
+
+    executive.spawn("ctx_overhead", overhead_factory, data_pages=data_pages)
+    sim.run()
+    for index in range(nproc):
+        executive.spawn(
+            f"ring{index}", member_factory(index), data_pages=data_pages
+        )
+    sim.run()
+    overhead = executive.mark_deltas("ovh_start", "ovh_end")[0] / iterations
+    delta = executive.mark_deltas("ctx_start", "ctx_end")[0]
+    per_hop = delta / (iterations * nproc)
+    return sim.cycles_to_us(max(per_hop - overhead, 0.0))
+
+
+# ---------------------------------------------------------------------------
+# lat_pipe
+# ---------------------------------------------------------------------------
+
+
+def pipe_latency(sim: Simulator, iterations: int = 50) -> float:
+    """One-way pipe latency in µs (round trip over two)."""
+    kernel = sim.kernel
+    executive = sim.executive
+    ping = kernel.pipes.create().ident
+    pong = kernel.pipes.create().ident
+
+    def client_factory(task):
+        def body(t):
+            buf = 0x10000000
+            for _ in range(5):  # warmup
+                yield ("pipe_write", ping, 1, buf)
+                yield ("pipe_read", pong, 1, buf)
+            yield ("mark", "pipe_start")
+            for _ in range(iterations):
+                yield ("pipe_write", ping, 1, buf)
+                yield ("pipe_read", pong, 1, buf)
+            yield ("mark", "pipe_end")
+            yield ("pipe_write", ping, 1, buf)  # release the server
+
+        return body(task)
+
+    def server_factory(task):
+        def body(t):
+            buf = 0x10000000
+            for _ in range(5 + iterations + 1):
+                yield ("pipe_read", ping, 1, buf)
+                yield ("pipe_write", pong, 1, buf)
+
+        return body(task)
+
+    executive.spawn("pipe_client", client_factory)
+    executive.spawn("pipe_server", server_factory)
+    sim.run()
+    delta = executive.mark_deltas("pipe_start", "pipe_end")[0]
+    return sim.cycles_to_us(delta / (2 * iterations))
+
+
+# ---------------------------------------------------------------------------
+# bw_pipe
+# ---------------------------------------------------------------------------
+
+
+def pipe_bandwidth(sim: Simulator, total_bytes: int = BW_TOTAL_BYTES) -> float:
+    """Pipe streaming bandwidth in MB/s."""
+    kernel = sim.kernel
+    executive = sim.executive
+    pipe = kernel.pipes.create().ident
+    chunk = PAGE_SIZE
+
+    def writer_factory(task):
+        def body(t):
+            buf = 0x10000000
+            sent = 0
+            yield ("mark", "bw_start")
+            while sent < total_bytes:
+                written = yield ("pipe_write", pipe, chunk, buf)
+                sent += written
+
+        return body(task)
+
+    def reader_factory(task):
+        def body(t):
+            buf = 0x10000000
+            received = 0
+            while received < total_bytes:
+                count = yield ("pipe_read", pipe, chunk, buf)
+                received += count
+            yield ("mark", "bw_end")
+
+        return body(task)
+
+    executive.spawn("bw_writer", writer_factory)
+    executive.spawn("bw_reader", reader_factory)
+    sim.run()
+    delta = executive.mark_deltas("bw_start", "bw_end")[0]
+    return sim.mb_per_s(total_bytes, delta)
+
+
+# ---------------------------------------------------------------------------
+# bw_file_rd
+# ---------------------------------------------------------------------------
+
+
+def file_reread(
+    sim: Simulator, file_bytes: int = FILE_REREAD_BYTES
+) -> float:
+    """Warm-cache file read bandwidth in MB/s."""
+    kernel = sim.kernel
+    executive = sim.executive
+    kernel.fs.create("reread.dat", file_bytes)
+
+    def factory(task):
+        from repro.sim.trace import PageVisit
+
+        # bw_file_rd reads *and sums* each chunk; the sum pass is real
+        # user work over the buffer.
+        def sum_pass(buf):
+            return [
+                PageVisit(ea=buf + page * PAGE_SIZE, lines=128)
+                for page in range(FILE_CHUNK // PAGE_SIZE)
+            ]
+
+        def body(t):
+            buf = 0x10000000
+            # Pass 1: populate the page cache (disk waits -> idle time).
+            offset = 0
+            while offset < file_bytes:
+                count = yield ("read_file", "reread.dat", offset, FILE_CHUNK, buf)
+                yield ("work", sum_pass(buf))
+                offset += count
+            # Pass 2: the measured reread.
+            yield ("mark", "reread_start")
+            offset = 0
+            while offset < file_bytes:
+                count = yield ("read_file", "reread.dat", offset, FILE_CHUNK, buf)
+                yield ("work", sum_pass(buf))
+                offset += count
+            yield ("mark", "reread_end")
+
+        return body(task)
+
+    executive.spawn("bw_file", factory, data_pages=FILE_CHUNK // PAGE_SIZE + 2)
+    sim.run()
+    delta = executive.mark_deltas("reread_start", "reread_end")[0]
+    return sim.mb_per_s(file_bytes, delta)
+
+
+# ---------------------------------------------------------------------------
+# lat_mmap
+# ---------------------------------------------------------------------------
+
+
+def mmap_latency(
+    sim: Simulator,
+    region_bytes: int = MMAP_REGION_BYTES,
+    iterations: int = 8,
+) -> float:
+    """mmap+munmap latency (µs per pair) for a file region."""
+    kernel = sim.kernel
+    executive = sim.executive
+    kernel.fs.create("map.dat", region_bytes)
+
+    def factory(task):
+        def body(t):
+            # Warmup pair.
+            addr = yield ("mmap", region_bytes, "map.dat", None)
+            yield ("munmap", addr, region_bytes)
+            yield ("mark", "mmap_start")
+            for _ in range(iterations):
+                addr = yield ("mmap", region_bytes, "map.dat", None)
+                yield ("munmap", addr, region_bytes)
+            yield ("mark", "mmap_end")
+
+        return body(task)
+
+    executive.spawn("lat_mmap", factory)
+    sim.run()
+    delta = executive.mark_deltas("mmap_start", "mmap_end")[0]
+    return sim.cycles_to_us(delta / iterations)
+
+
+# ---------------------------------------------------------------------------
+# lat_proc
+# ---------------------------------------------------------------------------
+
+
+def process_start(sim: Simulator, iterations: int = 5) -> float:
+    """fork+exec+exit latency in **milliseconds** per process."""
+    executive = sim.executive
+
+    def child_body_factory(child):
+        def body(t):
+            yield ("exec", "hello", {"text_pages": 8, "data_pages": 10})
+            # Dynamic-link startup: ld.so walks the library image and
+            # writes relocations — the bulk of real hello-world latency.
+            lib_base = 0x40000000
+            for page in range(24):
+                yield ("itouch", lib_base + page * PAGE_SIZE, 24)
+            for page in range(8):
+                yield ("touch", 0x10000000 + page * PAGE_SIZE, 48, True)
+            yield ("compute", 60000)  # symbol resolution
+            # The program itself runs briefly.
+            for page in range(4):
+                yield ("itouch", 0x01000000 + page * PAGE_SIZE, 16)
+            for page in range(3):
+                yield ("touch", 0x70000000 - (page + 1) * PAGE_SIZE, 16, True)
+            yield ("exit", 0)
+
+        return body(t=child)
+
+    def parent_factory(task):
+        def body(t):
+            # Warmup.
+            child = yield ("fork", child_body_factory)
+            yield ("waitpid", child)
+            yield ("mark", "proc_start")
+            for _ in range(iterations):
+                child = yield ("fork", child_body_factory)
+                yield ("waitpid", child)
+            yield ("mark", "proc_end")
+
+        return body(task)
+
+    executive.spawn("lat_proc", parent_factory, data_pages=16)
+    sim.run()
+    delta = executive.mark_deltas("proc_start", "proc_end")[0]
+    return sim.cycles_to_us(delta / iterations) / 1000.0
+
+
+# ---------------------------------------------------------------------------
+# the full suite
+# ---------------------------------------------------------------------------
+
+#: Points and the fresh-simulator factory each needs (every point boots
+#: its own system so state cannot leak between points, matching how
+#: LmBench runs each test as its own process tree).
+SUITE_POINTS = (
+    "null_syscall",
+    "ctxsw",
+    "pipe_latency",
+    "pipe_bw",
+    "file_reread",
+    "mmap_latency",
+    "process_start",
+)
+
+
+def lmbench_suite(
+    make_sim,
+    label: str,
+    points=SUITE_POINTS,
+    ctxsw8: bool = False,
+) -> LmbenchResult:
+    """Run the requested points, each on a freshly booted simulator.
+
+    ``make_sim`` is a zero-argument callable returning a new
+    :class:`Simulator`; ``label`` names the configuration (a table
+    column).
+    """
+    probe = make_sim()
+    result = LmbenchResult(machine=probe.spec.name, label=label)
+    if "null_syscall" in points:
+        result.null_syscall_us = null_syscall(make_sim())
+    if "ctxsw" in points:
+        result.ctxsw_us = context_switch(make_sim(), nproc=2)
+    if ctxsw8:
+        result.ctxsw8_us = context_switch(
+            make_sim(), nproc=8, iterations=12, working_set_kb=16
+        )
+    if "pipe_latency" in points:
+        result.pipe_latency_us = pipe_latency(make_sim())
+    if "pipe_bw" in points:
+        result.pipe_bw_mb_s = pipe_bandwidth(make_sim())
+    if "file_reread" in points:
+        result.file_reread_mb_s = file_reread(make_sim())
+    if "mmap_latency" in points:
+        result.mmap_latency_us = mmap_latency(make_sim())
+    if "process_start" in points:
+        sim = make_sim()
+        result.process_start_ms = process_start(sim)
+        result.counters = sim.counters()
+    return result

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+Most tests run against small, fast configurations; the heavyweight
+paper-scale runs live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+from repro.kernel.config import KernelConfig
+
+# Deterministic property tests: the simulator is deterministic, so
+# derandomized hypothesis keeps CI stable without losing coverage.
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.load_profile("repro")
+from repro.params import M603_180, M604_185
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim604() -> Simulator:
+    """A booted optimized 604 system."""
+    return Simulator(M604_185, KernelConfig.optimized())
+
+
+@pytest.fixture
+def sim604_unopt() -> Simulator:
+    """A booted unoptimized 604 system."""
+    return Simulator(M604_185, KernelConfig.unoptimized())
+
+
+@pytest.fixture
+def sim603() -> Simulator:
+    """A booted optimized (no-htab) 603 system."""
+    return Simulator(M603_180, KernelConfig.optimized())
+
+
+@pytest.fixture
+def sim603_htab() -> Simulator:
+    """A 603 running the hash-table-emulation handlers."""
+    return Simulator(
+        M603_180, KernelConfig.optimized().with_changes(use_htab_on_603=True)
+    )
+
+
+@pytest.fixture
+def task604(sim604):
+    """A spawned, running task on the optimized 604."""
+    task = sim604.kernel.spawn("t", text_pages=8, data_pages=16)
+    sim604.kernel.switch_to(task)
+    return task

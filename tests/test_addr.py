@@ -1,0 +1,117 @@
+"""Address arithmetic: the Figure-1 field splits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.addr import (
+    EA_MASK,
+    decompose_ea,
+    ea_offset,
+    ea_page_index,
+    ea_segment,
+    make_ea,
+    make_virtual_address,
+    page_of,
+    physical_address,
+)
+from repro.params import PAGE_SIZE, VSID_MASK
+
+eas = st.integers(min_value=0, max_value=EA_MASK)
+
+
+class TestFieldSplits:
+    def test_segment_is_top_four_bits(self):
+        assert ea_segment(0x00000000) == 0
+        assert ea_segment(0xF0000000) == 15
+        assert ea_segment(0xC0000000) == 12
+        assert ea_segment(0x3FFFFFFF) == 3
+
+    def test_page_index_is_middle_sixteen_bits(self):
+        assert ea_page_index(0x00000000) == 0
+        assert ea_page_index(0x0FFFF000) == 0xFFFF
+        assert ea_page_index(0x30012ABC) == 0x0012
+
+    def test_offset_is_low_twelve_bits(self):
+        assert ea_offset(0x12345FFF) == 0xFFF
+        assert ea_offset(0x12345000) == 0
+        assert ea_offset(0x30012ABC) == 0xABC
+
+    def test_page_of_combines_segment_and_index(self):
+        assert page_of(0x00001000) == 1
+        assert page_of(0xC0000000) == 0xC0000
+        assert page_of(0xFFFFFFFF) == 0xFFFFF
+
+    @given(eas)
+    def test_fields_reassemble_to_original(self, ea):
+        fields = decompose_ea(ea)
+        assert fields.value == ea
+
+    @given(eas)
+    def test_fields_are_in_range(self, ea):
+        fields = decompose_ea(ea)
+        assert 0 <= fields.segment < 16
+        assert 0 <= fields.page_index < 1 << 16
+        assert 0 <= fields.offset < PAGE_SIZE
+
+
+class TestMakeEa:
+    def test_compose(self):
+        assert make_ea(3, 0x12, 0xABC) == 0x30012ABC
+
+    def test_rejects_bad_segment(self):
+        with pytest.raises(ValueError):
+            make_ea(16, 0, 0)
+
+    def test_rejects_bad_page_index(self):
+        with pytest.raises(ValueError):
+            make_ea(0, 0x10000, 0)
+
+    def test_rejects_bad_offset(self):
+        with pytest.raises(ValueError):
+            make_ea(0, 0, PAGE_SIZE)
+
+    @given(
+        st.integers(0, 15),
+        st.integers(0, 0xFFFF),
+        st.integers(0, PAGE_SIZE - 1),
+    )
+    def test_roundtrip(self, segment, page_index, offset):
+        ea = make_ea(segment, page_index, offset)
+        assert ea_segment(ea) == segment
+        assert ea_page_index(ea) == page_index
+        assert ea_offset(ea) == offset
+
+
+class TestVirtualAddress:
+    def test_52_bit_value(self):
+        va = make_virtual_address(0x123456, 0x30012ABC)
+        assert va.value == 0x1234560012ABC
+        assert va.value.bit_length() <= 52
+
+    def test_virtual_page_concatenation(self):
+        va = make_virtual_address(0x000001, 0x00001000)
+        assert va.virtual_page == (1 << 16) | 1
+
+    def test_rejects_oversized_vsid(self):
+        with pytest.raises(ValueError):
+            make_virtual_address(VSID_MASK + 1, 0)
+
+    @given(st.integers(0, VSID_MASK), eas)
+    def test_offset_preserved(self, vsid, ea):
+        va = make_virtual_address(vsid, ea)
+        assert va.offset == ea_offset(ea)
+        assert va.vsid == vsid
+
+
+class TestPhysicalAddress:
+    def test_compose(self):
+        assert physical_address(0x12345, 0xABC) == 0x12345ABC
+
+    def test_offset_masked(self):
+        assert physical_address(1, 0x1FFF) == 0x1FFF
+
+    @given(st.integers(0, 0xFFFFF), st.integers(0, PAGE_SIZE - 1))
+    def test_fields(self, ppn, offset):
+        pa = physical_address(ppn, offset)
+        assert pa >> 12 == ppn
+        assert pa & 0xFFF == offset

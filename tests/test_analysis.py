@@ -1,0 +1,57 @@
+"""Table rendering and the experiment registry."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.tables import format_table, ratio_line
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 123.456]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.50" in text
+        assert "123" in text
+
+    def test_none_renders_dash(self):
+        text = format_table(["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_ratio_line(self):
+        line = ratio_line("metric", 50.0, 100.0, "us")
+        assert "0.50x" in line
+
+
+class TestRegistry:
+    def test_all_sixteen_experiments_registered(self):
+        assert sorted(experiments.REGISTRY) == sorted(
+            f"E{i}" for i in range(1, 17)
+        )
+
+    def test_sort_key_orders_numerically(self):
+        ordered = sorted(
+            experiments.REGISTRY, key=experiments._experiment_sort_key
+        )
+        assert ordered[0] == "E1"
+        assert ordered[-1] == "E16"
+
+    def test_e1_runs_and_reports(self):
+        result = experiments.run_e1()
+        assert result.experiment == "E1"
+        assert result.shape_holds
+        assert "Figure 1" in result.report
+        assert result.measured["va_bits"] <= 52
+
+    def test_e1_custom_address(self):
+        result = experiments.run_e1(ea=0xC0000ABC, vsid=1)
+        assert result.measured["segment"] == 12
+        assert result.measured["offset"] == 0xABC
+
+    def test_run_all_subset(self):
+        results = experiments.run_all(ids=["E1"])
+        assert len(results) == 1
+        assert results[0].experiment == "E1"

@@ -1,0 +1,150 @@
+"""L1/L2 cache model: hits, LRU, write-back, inhibition, hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.hw.cache import Cache
+from repro.params import L1_HIT_CYCLES
+
+
+def l1(mem=50, word=10, next_level=None):
+    return Cache(1024, 2, mem, line_size=32, word_cycles=word,
+                 next_level=next_level)
+
+
+class TestGeometry:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            Cache(1000, 3, 50)
+
+    def test_sets(self):
+        cache = Cache(16 * 1024, 4, 50)
+        assert cache.num_sets == 16 * 1024 // (4 * 32)
+
+    def test_address_mapping(self):
+        cache = l1()
+        assert cache.line_address(0) == 0
+        assert cache.line_address(31) == 0
+        assert cache.line_address(32) == 1
+        assert cache.set_index(cache.num_sets) == 0
+        assert cache.tag(cache.num_sets) == 1
+
+
+class TestAccess:
+    def test_miss_costs_memory(self):
+        cache = l1(mem=50)
+        assert cache.access(0) == 50
+        assert cache.stats.misses == 1
+
+    def test_hit_costs_one(self):
+        cache = l1()
+        cache.access(0)
+        assert cache.access(0) == L1_HIT_CYCLES
+        assert cache.access(16) == L1_HIT_CYCLES  # same line
+        assert cache.stats.hits == 2
+
+    def test_inhibited_bypasses(self):
+        cache = l1(mem=50, word=10)
+        assert cache.access(0, inhibited=True) == 10
+        assert cache.stats.bypasses == 1
+        # Nothing was allocated.
+        assert not cache.contains(0)
+
+    def test_write_marks_dirty_and_writeback_charged(self):
+        cache = l1(mem=50)
+        cache.access(0, write=True)
+        # Fill the set until the dirty line is evicted (2-way, 16 sets).
+        cache.access(0 + 512)   # same set (num_sets=16 -> 16*32=512)
+        cost = cache.access(0 + 1024)  # evicts line 0 (dirty)
+        assert cache.stats.writebacks == 1
+        assert cost == 50 + 25
+
+    def test_lru_order(self):
+        cache = l1()
+        cache.access(0)
+        cache.access(512)
+        cache.access(0)  # refresh
+        cache.access(1024)  # evicts 512
+        assert cache.contains(0)
+        assert not cache.contains(512)
+
+
+class TestHierarchy:
+    def test_l1_miss_fills_from_l2(self):
+        l2 = Cache(4096, 4, mem_cycles=50, hit_cycles=12)
+        top = l1(mem=50, next_level=l2)
+        first = top.access(0)
+        assert first == 50  # L2 missed too -> memory
+        assert l2.stats.misses == 1
+        # Evict from L1, re-access: L2 hit this time.
+        top.access(512)
+        top.access(1024)
+        cost = top.access(0)
+        assert cost == 12
+        assert l2.stats.hits >= 1
+
+    def test_l1_dirty_victim_written_to_l2(self):
+        l2 = Cache(4096, 4, mem_cycles=50, hit_cycles=12)
+        top = l1(mem=50, next_level=l2)
+        top.access(0, write=True)
+        top.access(512)
+        top.access(1024)  # evicts dirty line 0 -> write to L2
+        assert top.stats.writebacks == 1
+        assert l2.contains(0)
+
+
+class TestMaintenance:
+    def test_flush_all_clears_and_counts_writebacks(self):
+        cache = l1()
+        cache.access(0, write=True)
+        cache.access(64)
+        cycles = cache.flush_all()
+        assert len(cache) == 0
+        assert cache.stats.writebacks == 1
+        assert cycles == 25
+
+    def test_invalidate_page_drops_page_lines(self):
+        cache = Cache(32 * 1024, 4, 50)
+        cache.access(0)
+        cache.access(4096)
+        cache.invalidate_page(0)
+        assert not cache.contains(0)
+        assert cache.contains(4096)
+
+    def test_occupancy_and_resident(self):
+        cache = l1()
+        cache.access(0, write=True)
+        assert 0 < cache.occupancy() < 1
+        resident = list(cache.resident_lines())
+        assert len(resident) == 1
+        assert resident[0][2] is True  # dirty
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 8191), min_size=1, max_size=300))
+    def test_capacity_invariant(self, addresses):
+        cache = l1()
+        for address in addresses:
+            cache.access(address)
+            assert len(cache) <= 32  # 1024B / 32B lines
+            for lines in cache._sets:
+                assert len(lines) <= 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 2047), min_size=1, max_size=100))
+    def test_most_recent_access_always_resident(self, addresses):
+        cache = l1()
+        for address in addresses:
+            cache.access(address)
+            assert cache.contains(address)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 4095), st.booleans()),
+                    min_size=1, max_size=200))
+    def test_hits_plus_misses_equals_accesses(self, operations):
+        cache = l1()
+        for address, write in operations:
+            cache.access(address, write=write)
+        assert cache.stats.hits + cache.stats.misses == len(operations)

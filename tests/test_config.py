@@ -1,0 +1,63 @@
+"""Kernel configuration presets and validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernel.config import (
+    IdlePageClearPolicy,
+    KernelConfig,
+    VsidPolicy,
+)
+
+
+class TestPresets:
+    def test_unoptimized_is_all_off(self):
+        config = KernelConfig.unoptimized()
+        assert not config.bat_kernel_map
+        assert not config.fast_handlers
+        assert not config.lazy_vsid_flush
+        assert not config.idle_zombie_reclaim
+        assert config.idle_page_clear is IdlePageClearPolicy.OFF
+        assert config.vsid_policy is VsidPolicy.PID_SCATTER
+
+    def test_optimized_enables_the_paper_set(self):
+        config = KernelConfig.optimized()
+        assert config.bat_kernel_map
+        assert config.fast_handlers
+        assert not config.use_htab_on_603
+        assert config.lazy_vsid_flush
+        assert config.idle_zombie_reclaim
+        assert config.idle_page_clear is IdlePageClearPolicy.UNCACHED_LIST
+        assert config.range_flush_cutoff == 20
+
+    def test_with_changes_produces_modified_copy(self):
+        base = KernelConfig.optimized()
+        changed = base.with_changes(bat_kernel_map=False)
+        assert base.bat_kernel_map and not changed.bat_kernel_map
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            KernelConfig().bat_kernel_map = True
+
+
+class TestValidation:
+    def test_lazy_flush_requires_context_counter(self):
+        with pytest.raises(ConfigError):
+            KernelConfig(
+                lazy_vsid_flush=True, vsid_policy=VsidPolicy.PID_SCATTER
+            )
+
+    def test_scatter_constant_positive(self):
+        with pytest.raises(ConfigError):
+            KernelConfig(vsid_scatter_constant=0)
+
+    def test_cutoff_positive_or_none(self):
+        with pytest.raises(ConfigError):
+            KernelConfig(range_flush_cutoff=0)
+        KernelConfig(range_flush_cutoff=None)  # allowed
+
+    def test_pipe_cost_model_validation(self):
+        with pytest.raises(ConfigError):
+            KernelConfig(pipe_copy_multiplier=0)
+        with pytest.raises(ConfigError):
+            KernelConfig(pipe_op_extra_cycles=-1)

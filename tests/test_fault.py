@@ -1,0 +1,127 @@
+"""Miss-handler generations and the demand-fault path (§6)."""
+
+import pytest
+
+from repro.errors import SegmentFault
+from repro.kernel.config import KernelConfig
+from repro.params import M603_180, M604_185, PAGE_SIZE
+from repro.sim.simulator import Simulator
+
+
+def prepared(sim, data_pages=8):
+    task = sim.kernel.spawn("t", data_pages=data_pages)
+    sim.kernel.switch_to(task)
+    return task
+
+
+class Test604Refill:
+    def test_first_touch_faults_then_htab_hits(self, sim604, task604):
+        kernel = sim604.kernel
+        kernel.user_access(task604, 0x10000000, 1, True)
+        assert sim604.machine.monitor["page_fault_minor"] == 1
+        assert sim604.machine.monitor["htab_reload"] >= 1
+        # Kill the TLB entry only: the next access must be resolved by
+        # the hardware hash walk, no software at all.
+        before = sim604.machine.monitor["hash_miss_interrupt"]
+        sim604.machine.invalidate_tlbs()
+        kernel.user_access(task604, 0x10000000, 1, False)
+        assert sim604.machine.monitor["hash_miss_interrupt"] == before
+        assert sim604.machine.monitor["htab_hit"] >= 1
+
+    def test_fault_outside_vma_raises(self, sim604, task604):
+        with pytest.raises(SegmentFault):
+            sim604.kernel.user_access(task604, 0x66000000, 1, False)
+
+    def test_write_to_readonly_text_raises(self, sim604, task604):
+        with pytest.raises(SegmentFault):
+            sim604.kernel.user_access(task604, 0x01000000, 1, True)
+
+
+class Test603Handlers:
+    def test_no_htab_mode_never_touches_hash_table(self, sim603):
+        task = prepared(sim603)
+        sim603.kernel.user_access(task, 0x10000000, 2, True)
+        sim603.machine.invalidate_tlbs()
+        sim603.kernel.user_access(task, 0x10000000, 2, False)
+        assert sim603.machine.htab.valid_entries() == 0
+        assert sim603.machine.monitor["htab_reload"] == 0
+
+    def test_htab_emulation_mode_feeds_hash_table(self, sim603_htab):
+        task = prepared(sim603_htab)
+        sim603_htab.kernel.user_access(task, 0x10000000, 2, True)
+        assert sim603_htab.machine.htab.valid_entries() >= 1
+        # After a TLB-only invalidate, the software search must hit.
+        sim603_htab.machine.invalidate_tlbs()
+        sim603_htab.kernel.user_access(task, 0x10000000, 1, False)
+        assert sim603_htab.machine.monitor["htab_hit"] >= 1
+
+    def test_no_htab_cheaper_on_the_full_miss_path(self):
+        """§6.2: the emulation 'simply added another level of
+        indirection' — on a hash miss it searches the table, walks the
+        tree anyway, and re-inserts.  The direct handler just walks."""
+
+        def refill_cost(config):
+            sim = Simulator(M603_180, config)
+            task = prepared(sim)
+            sim.kernel.user_access(task, 0x10000000, 1, True)
+            sim.machine.invalidate_tlbs()
+            sim.machine.htab.invalidate_all()
+            start = sim.machine.clock.snapshot()
+            sim.kernel.user_access(task, 0x10000000, 1, False)
+            return sim.machine.clock.since(start)
+
+        opt = KernelConfig.optimized()
+        direct = refill_cost(opt)
+        emulated = refill_cost(opt.with_changes(use_htab_on_603=True))
+        assert direct < emulated
+
+
+class TestHandlerGenerations:
+    def test_c_handlers_cost_more_per_miss(self):
+        def miss_cost(config):
+            sim = Simulator(M604_185, config)
+            task = prepared(sim)
+            sim.kernel.user_access(task, 0x10000000, 1, True)
+            sim.machine.invalidate_tlbs()
+            sim.machine.htab.invalidate_all()
+            start = sim.machine.clock.snapshot()
+            sim.kernel.user_access(task, 0x10000000, 1, False)
+            return sim.machine.clock.since(start)
+
+        slow = miss_cost(KernelConfig.unoptimized())
+        fast = miss_cost(
+            KernelConfig.unoptimized().with_changes(fast_handlers=True)
+        )
+        assert fast < slow
+
+    def test_c_handler_state_save_pollutes_dcache(self):
+        sim = Simulator(M604_185, KernelConfig.unoptimized())
+        task = prepared(sim)
+        sim.kernel.user_access(task, 0x10000000, 1, True)
+        # The kernel stack lines were written through the data cache.
+        assert sim.machine.dcache.contains(sim.kernel.kernel_stack_pa)
+
+
+class TestDemandPaging:
+    def test_each_page_faults_once(self, sim604, task604):
+        kernel = sim604.kernel
+        for page in range(4):
+            kernel.user_access(task604, 0x10000000 + page * PAGE_SIZE, 1, True)
+        assert sim604.machine.monitor["page_fault_minor"] == 4
+        for page in range(4):
+            kernel.user_access(task604, 0x10000000 + page * PAGE_SIZE, 1, False)
+        assert sim604.machine.monitor["page_fault_minor"] == 4
+
+    def test_anonymous_pages_are_zeroed_frames(self, sim604, task604):
+        kernel = sim604.kernel
+        kernel.user_access(task604, 0x10000000, 1, True)
+        pfn = task604.mm.resident[0x10000000]
+        assert kernel.palloc.is_allocated(pfn)
+
+    def test_file_pages_shared_from_page_cache(self, sim604, task604):
+        kernel = sim604.kernel
+        kernel.user_access(task604, 0x01000000, 1, False)
+        pfn = task604.mm.resident[0x01000000]
+        image = kernel.fs.lookup("bin:t")
+        assert pfn in image.cached.values()
+        assert pfn in task604.mm.shared_pages

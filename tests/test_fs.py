@@ -1,0 +1,118 @@
+"""The file layer and page cache."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.kernel.config import KernelConfig
+from repro.params import M604_185, PAGE_SIZE
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(M604_185, KernelConfig.optimized())
+
+
+@pytest.fixture
+def task(sim):
+    task = sim.kernel.spawn("reader", data_pages=20)
+    sim.kernel.switch_to(task)
+    return task
+
+
+class TestNamespace:
+    def test_create_and_lookup(self, sim):
+        file = sim.kernel.fs.create("data", 10000)
+        assert sim.kernel.fs.lookup("data") is file
+        assert file.pages == 3
+
+    def test_duplicate_create_raises(self, sim):
+        sim.kernel.fs.create("data", 100)
+        with pytest.raises(SyscallError):
+            sim.kernel.fs.create("data", 100)
+
+    def test_bad_size_raises(self, sim):
+        with pytest.raises(SyscallError):
+            sim.kernel.fs.create("data", 0)
+
+    def test_missing_lookup_raises(self, sim):
+        with pytest.raises(SyscallError):
+            sim.kernel.fs.lookup("nope")
+
+
+class TestPageCache:
+    def test_cold_page_costs_disk_wait(self, sim):
+        fs = sim.kernel.fs
+        file = fs.create("data", PAGE_SIZE * 4)
+        pfn, wait = fs.page_frame(file, 0)
+        assert wait > 0
+        assert fs.disk_reads == 1
+        assert sim.kernel.palloc.is_allocated(pfn)
+
+    def test_warm_page_is_free(self, sim):
+        fs = sim.kernel.fs
+        file = fs.create("data", PAGE_SIZE * 4)
+        first, _ = fs.page_frame(file, 0)
+        second, wait = fs.page_frame(file, 0)
+        assert second == first and wait == 0
+        assert fs.cache_hits == 1
+
+    def test_read_past_eof_raises(self, sim):
+        fs = sim.kernel.fs
+        file = fs.create("data", PAGE_SIZE)
+        with pytest.raises(SyscallError):
+            fs.page_frame(file, 5)
+
+    def test_prefault_loads_everything(self, sim):
+        fs = sim.kernel.fs
+        fs.create("data", PAGE_SIZE * 4)
+        loaded = fs.prefault("data")
+        assert loaded == 4
+        assert fs.prefault("data") == 0  # idempotent
+
+    def test_evict_file_releases_frames(self, sim):
+        fs = sim.kernel.fs
+        fs.create("data", PAGE_SIZE * 4)
+        fs.prefault("data")
+        free_before = sim.kernel.palloc.free_count()
+        dropped = fs.evict_file("data")
+        assert dropped == 4
+        assert sim.kernel.palloc.free_count() == free_before + 4
+
+
+class TestReadPath:
+    def test_read_copies_and_reports_waits(self, sim, task):
+        fs = sim.kernel.fs
+        fs.create("data", PAGE_SIZE * 4)
+        count, wait = fs.read(task, "data", 0, PAGE_SIZE * 2,
+                              user_buffer=0x10000000)
+        assert count == PAGE_SIZE * 2
+        assert wait > 0  # cold
+        count, wait = fs.read(task, "data", 0, PAGE_SIZE * 2,
+                              user_buffer=0x10000000)
+        assert wait == 0  # warm
+
+    def test_read_truncated_at_eof(self, sim, task):
+        fs = sim.kernel.fs
+        fs.create("data", 5000)
+        count, _ = fs.read(task, "data", 4000, 9999, user_buffer=0x10000000)
+        assert count == 1000
+
+    def test_read_past_eof_returns_zero(self, sim, task):
+        fs = sim.kernel.fs
+        fs.create("data", 100)
+        count, wait = fs.read(task, "data", 200, 10)
+        assert (count, wait) == (0, 0)
+
+    def test_read_without_buffer_still_streams_source(self, sim, task):
+        fs = sim.kernel.fs
+        fs.create("data", PAGE_SIZE)
+        fs.prefault("data")
+        misses_before = sim.machine.dcache.stats.misses
+        fs.read(task, "data", 0, PAGE_SIZE)
+        assert sim.machine.dcache.stats.misses > misses_before
+
+    def test_sys_read_file_charges_syscall(self, sim, task):
+        sim.kernel.fs.create("data", PAGE_SIZE)
+        sim.kernel.sys_read_file(task, "data", 0, 100, 0x10000000)
+        assert sim.machine.monitor["syscall"] >= 1

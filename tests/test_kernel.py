@@ -1,0 +1,236 @@
+"""The kernel facade: process lifecycle and memory syscalls."""
+
+import pytest
+
+from repro.errors import KernelPanic, SyscallError
+from repro.hw.access import AccessKind
+from repro.kernel.config import KernelConfig, VsidPolicy
+from repro.kernel.kernel import (
+    IO_BASE_EA,
+    KERNEL_IMAGE_PAGES,
+    USER_MMAP_BASE,
+)
+from repro.params import KERNELBASE, M604_185, PAGE_SIZE
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(M604_185, KernelConfig.optimized())
+
+
+@pytest.fixture
+def sim_unopt():
+    return Simulator(M604_185, KernelConfig.unoptimized())
+
+
+@pytest.fixture
+def task(sim):
+    task = sim.kernel.spawn("main", text_pages=8, data_pages=16)
+    sim.kernel.switch_to(task)
+    return task
+
+
+class TestBoot:
+    def test_kernel_vsids_loaded(self, sim):
+        snapshot = sim.machine.segments.snapshot()
+        assert all(snapshot[i] != 0 for i in range(12, 16))
+
+    def test_bat_map_covers_direct_map(self, sim):
+        result = sim.machine.translate(KERNELBASE + 0x1234)
+        assert result.path == "bat"
+        assert result.pa == 0x1234
+
+    def test_no_bat_map_when_disabled(self, sim_unopt):
+        result = sim_unopt.machine.translate(KERNELBASE + 0x1234)
+        assert result.path != "bat"
+        assert result.pa == 0x1234  # still translates via kernel PTEs
+
+    def test_io_space_cache_inhibited(self, sim):
+        task = sim.kernel.spawn("io")
+        sim.kernel.switch_to(task)
+        result = sim.machine.translate(IO_BASE_EA + 0x2000)
+        assert result.cache_inhibited
+
+    def test_allocator_excludes_kernel_image_and_htab(self, sim):
+        palloc = sim.kernel.palloc
+        assert palloc.first_pfn == KERNEL_IMAGE_PAGES
+        assert palloc.last_pfn == (sim.machine.htab_base_pa >> 12) - 1
+
+    def test_kernel_footprint_touch(self, sim):
+        sim.kernel.touch_kernel("read")
+        assert (
+            sim.machine.icache.stats.hits
+            + sim.machine.icache.stats.misses
+        ) > 0
+
+
+class TestSpawnExit:
+    def test_spawn_builds_standard_vmas(self, sim):
+        task = sim.kernel.spawn("p", text_pages=4, data_pages=8,
+                                stack_pages=2)
+        names = {vma.name for vma in task.mm.vmas}
+        assert names == {"text", "data", "stack"}
+        text = next(v for v in task.mm.vmas if v.name == "text")
+        assert not text.writable and text.file == "bin:p"
+
+    def test_exit_releases_everything(self, sim, task):
+        kernel = sim.kernel
+        for page in range(4):
+            kernel.user_access(task, 0x10000000 + page * PAGE_SIZE, 1, True)
+        allocated_before = kernel.palloc.allocated_count()
+        kernel.sys_exit(task)
+        # Anonymous frames and page-table frames both returned.
+        assert kernel.palloc.allocated_count() < allocated_before
+        assert task.pid not in kernel.tasks
+        assert kernel.current_task is None
+
+    def test_exit_retires_vsids(self, sim, task):
+        vsids = list(task.mm.user_vsids)
+        sim.kernel.sys_exit(task)
+        assert not any(sim.kernel.vsid_allocator.is_live(v) for v in vsids)
+
+    def test_exit_wakes_waiters(self, sim, task):
+        from repro.kernel.task import TaskState
+
+        waiter = sim.kernel.spawn("waiter")
+        waiter.state = TaskState.SLEEPING
+        sim.kernel.exit_waiters.setdefault(task.pid, []).append(waiter)
+        sim.kernel.sys_exit(task)
+        assert waiter.state is TaskState.READY
+
+
+class TestFork:
+    def test_fork_copies_address_space(self, sim, task):
+        kernel = sim.kernel
+        kernel.user_access(task, 0x10000000, 4, True)
+        child = kernel.sys_fork(task)
+        assert child.pid != task.pid
+        assert 0x10000000 in child.mm.resident
+        # Anonymous pages are copied to new frames.
+        assert child.mm.resident[0x10000000] != task.mm.resident[0x10000000]
+
+    def test_fork_shares_text(self, sim, task):
+        kernel = sim.kernel
+        kernel.user_access(task, 0x01000000, 2, False,
+                           kind=AccessKind.INSTRUCTION)
+        child = kernel.sys_fork(task)
+        assert child.mm.resident[0x01000000] == task.mm.resident[0x01000000]
+
+    def test_fork_gives_child_fresh_vsids(self, sim, task):
+        child = sim.kernel.sys_fork(task)
+        assert set(child.mm.user_vsids).isdisjoint(task.mm.user_vsids)
+
+    def test_child_is_independent(self, sim, task):
+        kernel = sim.kernel
+        kernel.user_access(task, 0x10000000, 1, True)
+        child = kernel.sys_fork(task)
+        kernel.switch_to(child)
+        kernel.user_access(child, 0x10001000, 1, True)
+        assert 0x10001000 not in task.mm.resident
+
+
+class TestExec:
+    def test_exec_replaces_address_space(self, sim, task):
+        kernel = sim.kernel
+        kernel.user_access(task, 0x10000000, 1, True)
+        old_frames = set(task.mm.resident.values())
+        kernel.sys_exec(task, "other", text_pages=4, data_pages=4)
+        assert task.mm.resident == {}
+        assert task.name == "other"
+        assert all(not kernel.palloc.is_allocated(f) or True
+                   for f in old_frames)  # no crash path
+
+    def test_dynamic_exec_maps_libc(self, sim, task):
+        sim.kernel.sys_exec(task, "dyn", dynamic=True)
+        assert any(vma.name == "libc" for vma in task.mm.vmas)
+
+    def test_static_exec_has_no_libc(self, sim, task):
+        sim.kernel.sys_exec(task, "static", dynamic=False)
+        assert not any(vma.name == "libc" for vma in task.mm.vmas)
+
+    def test_exec_bumps_context_under_lazy_flush(self, sim, task):
+        old = list(task.mm.user_vsids)
+        sim.kernel.sys_exec(task, "fresh")
+        assert task.mm.user_vsids != old
+
+
+class TestMmap:
+    def test_mmap_returns_gap_address(self, sim, task):
+        addr = sim.kernel.sys_mmap(task, 8 * PAGE_SIZE)
+        assert addr == USER_MMAP_BASE
+        second = sim.kernel.sys_mmap(task, 8 * PAGE_SIZE)
+        assert second >= addr + 8 * PAGE_SIZE
+
+    def test_mmap_rejects_bad_length(self, sim, task):
+        with pytest.raises(SyscallError):
+            sim.kernel.sys_mmap(task, 0)
+
+    def test_munmap_requires_exact_vma(self, sim, task):
+        addr = sim.kernel.sys_mmap(task, 8 * PAGE_SIZE)
+        with pytest.raises(SyscallError):
+            sim.kernel.sys_munmap(task, addr, 4 * PAGE_SIZE)
+
+    def test_munmap_frees_anon_frames(self, sim, task):
+        kernel = sim.kernel
+        addr = kernel.sys_mmap(task, 8 * PAGE_SIZE)
+        kernel.user_access(task, addr, 1, True)
+        pfn = task.mm.resident[addr]
+        kernel.sys_munmap(task, addr, 8 * PAGE_SIZE)
+        assert not kernel.palloc.is_allocated(pfn)
+        assert task.mm.find_vma(addr) is None
+
+    def test_munmap_keeps_shared_file_frames(self, sim, task):
+        kernel = sim.kernel
+        kernel.fs.create("shared.dat", 8 * PAGE_SIZE)
+        kernel.fs.prefault("shared.dat")
+        addr = kernel.sys_mmap(task, 8 * PAGE_SIZE, file="shared.dat")
+        kernel.user_access(task, addr, 1, False)
+        pfn = task.mm.resident[addr]
+        kernel.sys_munmap(task, addr, 8 * PAGE_SIZE)
+        assert kernel.palloc.is_allocated(pfn)  # still in the page cache
+
+    def test_brk_grows_data(self, sim, task):
+        data = next(v for v in task.mm.vmas if v.name == "data")
+        end_before = data.end
+        new_end = sim.kernel.sys_brk(task, 4)
+        assert new_end == end_before + 4 * PAGE_SIZE
+        sim.kernel.user_access(task, end_before, 1, True)
+
+
+class TestAddressingGuards:
+    def test_user_access_requires_current(self, sim):
+        task = sim.kernel.spawn("x")
+        with pytest.raises(KernelPanic):
+            sim.kernel.user_access(task, 0x10000000, 1, False)
+
+    def test_mm_for_kernel_address(self, sim):
+        assert sim.kernel.mm_for_address(KERNELBASE) is sim.kernel.kernel_mm
+
+    def test_mm_for_user_address_without_task_panics(self, sim):
+        with pytest.raises(KernelPanic):
+            sim.kernel.mm_for_address(0x10000000)
+
+
+class TestMemoryConservation:
+    def test_full_lifecycle_leaks_nothing(self, sim):
+        kernel = sim.kernel
+        free_start = kernel.palloc.free_count()
+        task = kernel.spawn("leak", text_pages=4, data_pages=8)
+        kernel.switch_to(task)
+        for page in range(8):
+            kernel.user_access(task, 0x10000000 + page * PAGE_SIZE, 1, True)
+        addr = kernel.sys_mmap(task, 16 * PAGE_SIZE)
+        for page in range(16):
+            kernel.user_access(task, addr + page * PAGE_SIZE, 1, True)
+        kernel.sys_munmap(task, addr, 16 * PAGE_SIZE)
+        child = kernel.sys_fork(task)
+        kernel.switch_to(child)
+        kernel.sys_exit(child)
+        kernel.switch_to(task)
+        kernel.sys_exit(task)
+        # Everything except the spawned image's page-cache pages and the
+        # pre-cleared stock is back.
+        leaked = free_start - kernel.palloc.free_count()
+        image_pages = kernel.fs.lookup("bin:leak").pages
+        assert leaked <= image_pages + kernel.palloc.precleared_count() + 4

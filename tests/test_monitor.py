@@ -1,0 +1,61 @@
+"""The hardware performance monitor (§4)."""
+
+from repro.hw.monitor import HardwareMonitor
+
+
+class TestCounters:
+    def test_counts_accumulate(self):
+        monitor = HardwareMonitor()
+        monitor.count("dtlb_miss")
+        monitor.count("dtlb_miss", 4)
+        assert monitor["dtlb_miss"] == 5
+
+    def test_unknown_counter_reads_zero(self):
+        assert HardwareMonitor()["nothing"] == 0
+        assert HardwareMonitor().get("nothing", 7) == 7
+
+    def test_snapshot_is_frozen(self):
+        monitor = HardwareMonitor()
+        monitor.count("syscall")
+        snapshot = monitor.snapshot()
+        monitor.count("syscall")
+        assert snapshot["syscall"] == 1
+
+    def test_delta_reports_only_changes(self):
+        monitor = HardwareMonitor()
+        monitor.count("syscall")
+        snapshot = monitor.snapshot()
+        monitor.count("dtlb_miss", 3)
+        delta = monitor.delta(snapshot)
+        assert delta == {"dtlb_miss": 3}
+
+    def test_reset_all_and_selective(self):
+        monitor = HardwareMonitor()
+        monitor.count("a")
+        monitor.count("b")
+        monitor.reset(["a"])
+        assert monitor["a"] == 0 and monitor["b"] == 1
+        monitor.reset()
+        assert monitor["b"] == 0
+
+
+class TestDerivedMetrics:
+    def test_htab_hit_rate(self):
+        monitor = HardwareMonitor()
+        assert monitor.htab_hit_rate() == 0.0
+        monitor.count("htab_search", 10)
+        monitor.count("htab_hit", 9)
+        assert monitor.htab_hit_rate() == 0.9
+
+    def test_evict_ratio(self):
+        monitor = HardwareMonitor()
+        assert monitor.evict_ratio() == 0.0
+        monitor.count("htab_reload", 10)
+        monitor.count("htab_evict", 3)
+        assert monitor.evict_ratio() == 0.3
+
+    def test_total_tlb_misses(self):
+        monitor = HardwareMonitor()
+        monitor.count("itlb_miss", 2)
+        monitor.count("dtlb_miss", 3)
+        assert monitor.total_tlb_misses() == 5

@@ -1,0 +1,45 @@
+"""Table 3 OS profiles."""
+
+from repro.kernel.config import KernelConfig
+from repro.oscompare.profiles import (
+    AIX,
+    LINUX_PPC,
+    LINUX_PPC_UNOPTIMIZED,
+    MKLINUX,
+    RHAPSODY,
+    TABLE3_PROFILES,
+)
+from repro.oscompare.runner import PAPER_TABLE3
+
+
+class TestProfiles:
+    def test_five_columns_in_paper_order(self):
+        names = [profile.name for profile in TABLE3_PROFILES]
+        assert names == [
+            "Linux/PPC",
+            "Unoptimized Linux/PPC",
+            "Rhapsody 5.0",
+            "MkLinux",
+            "AIX",
+        ]
+
+    def test_linux_columns_are_native(self):
+        assert LINUX_PPC.native and LINUX_PPC_UNOPTIMIZED.native
+        assert not RHAPSODY.native and not AIX.native
+
+    def test_native_configs_match_presets(self):
+        assert LINUX_PPC.config == KernelConfig.optimized()
+        assert LINUX_PPC_UNOPTIMIZED.config == KernelConfig.unoptimized()
+
+    def test_microkernels_pay_ipc_overheads(self):
+        for mach in (RHAPSODY, MKLINUX):
+            assert mach.config.pipe_op_extra_cycles > 0
+            assert mach.config.ctxsw_cycles > 5000
+
+    def test_aix_monolithic_but_heavier_than_linux(self):
+        assert AIX.config.syscall_entry_cycles > 1000
+        assert AIX.config.ctxsw_cycles < RHAPSODY.config.ctxsw_cycles
+
+    def test_paper_values_cover_every_profile(self):
+        for profile in TABLE3_PROFILES:
+            assert profile.name in PAPER_TABLE3

@@ -1,0 +1,135 @@
+"""Linux two-level page tables."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelPanic
+from repro.kernel.pagetable import (
+    LinuxPte,
+    TwoLevelPageTable,
+    check_page_aligned,
+    page_base,
+    pages_spanned,
+    pgd_index,
+    pte_index,
+)
+
+
+def make_table():
+    counter = itertools.count(100)
+    return TwoLevelPageTable(alloc_frame=lambda: next(counter))
+
+
+class TestIndexing:
+    def test_pgd_index_top_ten_bits(self):
+        assert pgd_index(0) == 0
+        assert pgd_index(0xFFFFFFFF) == 1023
+        assert pgd_index(0x00400000) == 1
+
+    def test_pte_index_middle_ten_bits(self):
+        assert pte_index(0) == 0
+        assert pte_index(0x003FF000) == 1023
+        assert pte_index(0x00001000) == 1
+
+
+class TestLookupSet:
+    def test_lookup_empty(self):
+        table = make_table()
+        result = table.lookup(0x10000000)
+        assert result.pte is None
+        assert len(result.load_addresses) == 1  # only the pgd entry
+
+    def test_set_then_lookup(self):
+        table = make_table()
+        table.set_pte(0x10000000, LinuxPte(pfn=7))
+        result = table.lookup(0x10000000)
+        assert result.pte.pfn == 7
+        assert len(result.load_addresses) == 2
+
+    def test_lookup_addresses_live_in_table_frames(self):
+        table = make_table()
+        table.set_pte(0x10000000, LinuxPte(pfn=7))
+        result = table.lookup(0x10000000)
+        frames = {address >> 12 for address in result.load_addresses}
+        assert frames <= set(table.table_frames)
+
+    def test_middle_pages_allocated_lazily(self):
+        table = make_table()
+        assert len(table.table_frames) == 1  # just the pgd
+        table.set_pte(0x10000000, LinuxPte(pfn=7))
+        assert len(table.table_frames) == 2
+        table.set_pte(0x10001000, LinuxPte(pfn=8))
+        assert len(table.table_frames) == 2  # same pte page
+
+    def test_clear_pte(self):
+        table = make_table()
+        table.set_pte(0x10000000, LinuxPte(pfn=7))
+        cleared = table.clear_pte(0x10000000)
+        assert cleared.pfn == 7
+        assert table.lookup(0x10000000).pte is None
+
+    def test_clear_missing_pte(self):
+        assert make_table().clear_pte(0x10000000) is None
+
+
+class TestIteration:
+    def test_mapped_pages_sorted(self):
+        table = make_table()
+        for ea in (0x30000000, 0x10000000, 0x10001000):
+            table.set_pte(ea, LinuxPte(pfn=1))
+        pages = [ea for ea, _ in table.mapped_pages()]
+        assert pages == [0x10000000, 0x10001000, 0x30000000]
+
+    def test_mapped_range_bounds(self):
+        table = make_table()
+        for page in range(5):
+            table.set_pte(0x10000000 + page * 4096, LinuxPte(pfn=page))
+        inside = list(table.mapped_range(0x10001000, 0x10003000))
+        assert [ea for ea, _ in inside] == [0x10001000, 0x10002000]
+
+    def test_mapped_range_empty(self):
+        assert list(make_table().mapped_range(0, 0)) == []
+
+    def test_non_present_excluded(self):
+        table = make_table()
+        table.set_pte(0x10000000, LinuxPte(pfn=1, present=False))
+        assert table.count_mapped() == 0
+
+    def test_release_frames(self):
+        table = make_table()
+        table.set_pte(0x10000000, LinuxPte(pfn=1))
+        freed = []
+        count = table.release_frames(freed.append)
+        assert count == 2
+        assert len(freed) == 2
+        assert table.count_mapped() == 0
+
+
+class TestHelpers:
+    def test_page_base(self):
+        assert page_base(0x12345FFF) == 0x12345000
+
+    def test_pages_spanned(self):
+        assert pages_spanned(0, 0) == 0
+        assert pages_spanned(0, 1) == 1
+        assert pages_spanned(0, 4096) == 1
+        assert pages_spanned(0, 4097) == 2
+        assert pages_spanned(4095, 2) == 2
+
+    def test_check_page_aligned(self):
+        check_page_aligned(0x1000, "ok")
+        with pytest.raises(KernelPanic):
+            check_page_aligned(0x1001, "bad")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, (1 << 20) - 1), min_size=1, max_size=60,
+                    unique=True))
+    def test_set_lookup_roundtrip_property(self, pages):
+        table = make_table()
+        for page in pages:
+            table.set_pte(page << 12, LinuxPte(pfn=page & 0xFFFFF))
+        for page in pages:
+            assert table.lookup(page << 12).pte.pfn == page & 0xFFFFF
+        assert table.count_mapped() == len(pages)

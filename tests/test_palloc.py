@@ -1,0 +1,136 @@
+"""The physical page allocator and §9's pre-cleared list."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelPanic, OutOfMemoryError
+from repro.hw.machine import MachineModel
+from repro.kernel.palloc import PageAllocator
+from repro.params import M604_185
+
+
+def make_palloc(first=100, last=199):
+    machine = MachineModel(M604_185)
+    return PageAllocator(machine, first_pfn=first, last_pfn=last), machine
+
+
+class TestBasicAllocation:
+    def test_alloc_unique_frames(self):
+        palloc, _ = make_palloc()
+        frames = {palloc.alloc_frame() for _ in range(100)}
+        assert len(frames) == 100
+        assert frames == set(range(100, 200))
+
+    def test_exhaustion_raises(self):
+        palloc, _ = make_palloc(100, 101)
+        palloc.alloc_frame()
+        palloc.alloc_frame()
+        with pytest.raises(OutOfMemoryError):
+            palloc.alloc_frame()
+
+    def test_free_then_realloc(self):
+        palloc, _ = make_palloc(100, 100)
+        pfn = palloc.alloc_frame()
+        palloc.free_page(pfn)
+        assert palloc.alloc_frame() == pfn
+
+    def test_double_free_panics(self):
+        palloc, _ = make_palloc()
+        pfn = palloc.alloc_frame()
+        palloc.free_page(pfn)
+        with pytest.raises(KernelPanic):
+            palloc.free_page(pfn)
+
+    def test_empty_range_panics(self):
+        machine = MachineModel(M604_185)
+        with pytest.raises(KernelPanic):
+            PageAllocator(machine, first_pfn=10, last_pfn=5)
+
+    def test_counters(self):
+        palloc, _ = make_palloc()
+        assert palloc.free_count() == 100
+        palloc.alloc_frame()
+        assert palloc.free_count() == 99
+        assert palloc.allocated_count() == 1
+
+
+class TestZeroedAllocation:
+    def test_inline_clear_charges_cycles_through_cache(self):
+        palloc, machine = make_palloc()
+        before = machine.clock.total
+        palloc.get_free_page(zeroed=True)
+        assert machine.clock.total - before > 128 * 8  # per-line work
+        assert palloc.inline_clears == 1
+        assert machine.dcache.stats.misses > 0
+
+    def test_unzeroed_page_is_cheap(self):
+        palloc, machine = make_palloc()
+        before = machine.clock.total
+        palloc.get_free_page(zeroed=False)
+        assert machine.clock.total - before < 100
+        assert palloc.inline_clears == 0
+
+    def test_precleared_page_short_circuits(self):
+        palloc, machine = make_palloc()
+        pfn = palloc.pop_free_for_preclear()
+        palloc.clear_page(pfn, inhibited=True, category="idle_clear")
+        palloc.push_precleared(pfn)
+        before_misses = machine.dcache.stats.misses
+        got = palloc.get_free_page(zeroed=True)
+        assert got == pfn
+        assert palloc.precleared_hits == 1
+        assert machine.dcache.stats.misses == before_misses
+        assert machine.monitor["precleared_page_used"] == 1
+
+    def test_precleared_pages_reclaimed_when_free_list_dry(self):
+        palloc, _ = make_palloc(100, 101)
+        pfn = palloc.pop_free_for_preclear()
+        palloc.push_precleared(pfn)
+        first = palloc.get_free_page(zeroed=False)
+        second = palloc.get_free_page(zeroed=False)
+        assert {first, second} == {100, 101}
+
+    def test_uncached_clear_does_not_pollute(self):
+        palloc, machine = make_palloc()
+        pfn = palloc.pop_free_for_preclear()
+        palloc.clear_page(pfn, inhibited=True, category="idle_clear")
+        assert machine.dcache.stats.bypasses == 128
+        assert len(machine.dcache) == 0
+
+    def test_cached_clear_pollutes(self):
+        palloc, machine = make_palloc()
+        pfn = palloc.pop_free_for_preclear()
+        palloc.clear_page(pfn, inhibited=False, category="idle_clear")
+        assert len(machine.dcache) > 0
+
+    def test_return_uncleared_puts_page_back(self):
+        palloc, _ = make_palloc(100, 100)
+        pfn = palloc.pop_free_for_preclear()
+        assert palloc.free_count() == 0
+        palloc.return_uncleared(pfn)
+        assert palloc.free_count() == 1
+
+    def test_pop_free_for_preclear_empty(self):
+        palloc, _ = make_palloc(100, 100)
+        palloc.alloc_frame()
+        assert palloc.pop_free_for_preclear() is None
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=120))
+    def test_never_double_allocates(self, plan):
+        palloc, _ = make_palloc(0, 49)
+        live = set()
+        for should_alloc in plan:
+            if should_alloc or not live:
+                try:
+                    pfn = palloc.alloc_frame()
+                except OutOfMemoryError:
+                    continue
+                assert pfn not in live
+                live.add(pfn)
+            else:
+                pfn = live.pop()
+                palloc.free_page(pfn)
+        assert palloc.allocated_count() == len(live)

@@ -1,0 +1,78 @@
+"""Machine specs and architected constants."""
+
+import pytest
+
+from repro import params
+from repro.params import (
+    ALL_MACHINES,
+    M603_133,
+    M603_180,
+    M604_185,
+    M604_200,
+    machine_by_name,
+)
+
+
+class TestArchitectedConstants:
+    def test_page_geometry(self):
+        assert params.PAGE_SIZE == 4096
+        assert 1 << params.PAGE_SHIFT == params.PAGE_SIZE
+        assert params.LINES_PER_PAGE == 128
+
+    def test_segment_geometry(self):
+        assert params.NUM_SEGMENT_REGISTERS == 16
+        assert params.SEGMENT_SIZE * 16 == 1 << 32
+
+    def test_htab_geometry_matches_paper(self):
+        # §7: "600-700 out of 16384".
+        assert params.HTAB_PTE_SLOTS == 16384
+        assert params.HTAB_GROUPS * params.PTES_PER_GROUP == 16384
+
+    def test_paper_stated_costs(self):
+        assert params.C603_MISS_INVOKE_CYCLES == 32
+        assert params.C604_HW_WALK_MAX_CYCLES == 120
+        assert params.C604_HASH_MISS_INVOKE_CYCLES == 91
+        assert params.LINUX_PTE_TREE_LOADS == 3
+        assert params.FLUSH_SEARCH_REFS_PER_PTE == 16
+        assert params.DEFAULT_RANGE_FLUSH_CUTOFF == 20
+
+    def test_ram_is_32mb(self):
+        assert params.RAM_BYTES == 32 * 1024 * 1024
+        assert params.RAM_PAGES == 8192
+
+
+class TestMachineSpecs:
+    def test_tlb_totals_match_paper(self):
+        # §5.1: "The PowerPC 603 TLB has 128 entries and the 604 has 256".
+        assert M603_180.itlb_entries + M603_180.dtlb_entries == 128
+        assert M604_185.itlb_entries + M604_185.dtlb_entries == 256
+
+    def test_604_has_double_cache(self):
+        # §6.2: "two times larger L1 cache and TLB in the 604".
+        assert M604_185.icache_bytes == 2 * M603_180.icache_bytes
+
+    def test_walk_style(self):
+        assert not M603_180.hardware_tablewalk
+        assert M604_185.hardware_tablewalk
+
+    def test_cycle_time_conversions(self):
+        assert M603_133.cycles_to_us(133) == pytest.approx(1.0)
+        assert M603_133.us_to_cycles(2.0) == 266
+
+    def test_mem_cycles_scale_with_clock(self):
+        assert M603_180.mem_cycles > M603_133.mem_cycles
+        assert M603_180.word_cycles > M603_133.word_cycles
+
+    def test_604_200_has_faster_memory(self):
+        # §6.2: "significantly faster main memory and a better board".
+        assert M604_200.mem_line_fill_ns < M604_185.mem_line_fill_ns
+
+    def test_machine_by_name(self):
+        assert machine_by_name("604 185MHz") is M604_185
+        with pytest.raises(KeyError):
+            machine_by_name("486 66MHz")
+
+    def test_all_machines_frozen(self):
+        for spec in ALL_MACHINES:
+            with pytest.raises(Exception):
+                spec.clock_mhz = 999

@@ -1,0 +1,197 @@
+"""System-level property tests (hypothesis).
+
+These are the invariants the paper's optimizations must preserve:
+
+* **Translation safety** — whatever sequence of maps, touches, unmaps
+  and flushes runs, the hardware never translates an address to a frame
+  other than the one the kernel's page tables currently assign it.  The
+  lazy VSID flush leaves stale "valid" entries everywhere; this property
+  is exactly why that is sound.
+* **Resource conservation** — physical frames are never double-owned.
+* **Hash distribution** — the architected hash function's structural
+  properties.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import SyscallError, TranslationError
+from repro.hw.hashtable import primary_hash, secondary_hash
+from repro.kernel.config import KernelConfig, VsidPolicy
+from repro.params import M604_185, PAGE_SIZE
+from repro.sim.simulator import Simulator
+
+CONFIGS = {
+    "optimized": KernelConfig.optimized(),
+    "unoptimized": KernelConfig.unoptimized(),
+    "lazy-tiny-cutoff": KernelConfig.optimized().with_changes(
+        range_flush_cutoff=1
+    ),
+    "search-flush": KernelConfig.optimized().with_changes(
+        lazy_vsid_flush=False, vsid_policy=VsidPolicy.PID_SCATTER
+    ),
+}
+
+#: One mmap arena the state machine plays in.
+ARENA_PAGES = 24
+
+
+class _Model:
+    """Drives one simulated process through map/touch/unmap steps while
+    shadowing what the memory should look like."""
+
+    def __init__(self, config):
+        self.sim = Simulator(M604_185, config)
+        self.kernel = self.sim.kernel
+        self.task = self.kernel.spawn("model", data_pages=4)
+        self.kernel.switch_to(self.task)
+        self.arena = None
+
+    def do_map(self):
+        if self.arena is None:
+            self.arena = self.kernel.sys_mmap(
+                self.task, ARENA_PAGES * PAGE_SIZE
+            )
+
+    def do_unmap(self):
+        if self.arena is not None:
+            self.kernel.sys_munmap(
+                self.task, self.arena, ARENA_PAGES * PAGE_SIZE
+            )
+            self.arena = None
+
+    def do_touch(self, page, write):
+        if self.arena is None:
+            return
+        ea = self.arena + page * PAGE_SIZE
+        self.kernel.user_access(self.task, ea, 1, write)
+        # SAFETY: hardware translation must agree with the page table.
+        expected = self.task.mm.resident[ea]
+        result = self.sim.machine.translate(ea)
+        assert result.pa >> 12 == expected
+
+    def do_flush_mm(self):
+        self.kernel.flush.flush_mm(self.task.mm)
+
+    def do_fork_exit(self):
+        child = self.kernel.sys_fork(self.task)
+        self.kernel.switch_to(child)
+        self.kernel.sys_exit(child)
+        self.kernel.switch_to(self.task)
+
+    def check_unmapped_is_unreachable(self):
+        if self.arena is None:
+            # The arena's old address must fault, not translate stale.
+            probe = 0x40000000
+            if self.task.mm.find_vma(probe) is None:
+                with pytest.raises(TranslationError):
+                    self.kernel.user_access(self.task, probe, 1, False)
+
+
+steps = st.lists(
+    st.one_of(
+        st.just(("map",)),
+        st.just(("unmap",)),
+        st.tuples(
+            st.just("touch"), st.integers(0, ARENA_PAGES - 1), st.booleans()
+        ),
+        st.just(("flush",)),
+        st.just(("forkexit",)),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+class TestTranslationSafety:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(plan=steps)
+    def test_hardware_never_serves_stale_translations(self, config_name, plan):
+        model = _Model(CONFIGS[config_name])
+        for step in plan:
+            if step[0] == "map":
+                model.do_map()
+            elif step[0] == "unmap":
+                model.do_unmap()
+                model.check_unmapped_is_unreachable()
+            elif step[0] == "touch":
+                model.do_touch(step[1], step[2])
+            elif step[0] == "flush":
+                model.do_flush_mm()
+            elif step[0] == "forkexit":
+                model.do_fork_exit()
+
+
+class TestFrameConservation:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(plan=steps)
+    def test_no_frame_double_owned(self, plan):
+        model = _Model(CONFIGS["optimized"])
+        kernel = model.kernel
+        for step in plan:
+            if step[0] == "map":
+                model.do_map()
+            elif step[0] == "unmap":
+                model.do_unmap()
+            elif step[0] == "touch":
+                model.do_touch(step[1], step[2])
+            elif step[0] == "forkexit":
+                model.do_fork_exit()
+            # Every resident anonymous frame is owned exactly once.
+            owners = {}
+            for task in kernel.tasks.values():
+                for ea, pfn in task.mm.resident.items():
+                    if pfn in task.mm.shared_pages:
+                        continue
+                    assert pfn not in owners, (
+                        f"frame {pfn} owned by {owners[pfn]} and "
+                        f"({task.pid}, {ea:#x})"
+                    )
+                    owners[pfn] = (task.pid, ea)
+                    assert kernel.palloc.is_allocated(pfn)
+
+
+class TestHashStructure:
+    @given(st.integers(0, 0xFFFFFF), st.integers(0, 0xFFFF))
+    def test_secondary_always_differs_from_primary(self, vsid, page):
+        assert primary_hash(vsid, page) != secondary_hash(vsid, page)
+
+    @given(st.integers(0, 0xFFFFFF), st.integers(0, 0xFFFF),
+           st.integers(0, 0xFFFF))
+    def test_same_vsid_different_pages_usually_spread(self, vsid, p1, p2):
+        # XOR structure: equal hashes iff equal page indexes.
+        if p1 != p2:
+            assert primary_hash(vsid, p1) != primary_hash(vsid, p2)
+
+    @given(st.integers(0, 0x7FFFF))
+    def test_hash_is_self_inverse_in_vsid(self, value):
+        # h(v, p) == h(p, v) for 16-bit values: XOR commutes.
+        assert primary_hash(value, 0) == value & 0x7FFFF
+
+
+class TestLedgerMonotonicity:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(plan=steps)
+    def test_cycles_never_decrease(self, plan):
+        model = _Model(CONFIGS["optimized"])
+        last = model.sim.cycles
+        for step in plan:
+            if step[0] == "map":
+                model.do_map()
+            elif step[0] == "unmap":
+                model.do_unmap()
+            elif step[0] == "touch":
+                model.do_touch(step[1], step[2])
+            elif step[0] == "flush":
+                model.do_flush_mm()
+            elif step[0] == "forkexit":
+                model.do_fork_exit()
+            assert model.sim.cycles >= last
+            last = model.sim.cycles

@@ -1,0 +1,100 @@
+"""Hash-table PTE encoding: the architected two-word format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.pte import (
+    API_SHIFT,
+    HashPte,
+    PP_RO,
+    PP_RW,
+    WIMG_CACHE_INHIBIT,
+    pte_api,
+)
+from repro.params import VSID_MASK
+
+
+class TestApi:
+    def test_api_is_top_six_bits_of_page_index(self):
+        assert pte_api(0x0000) == 0
+        assert pte_api(0xFFFF) == 0x3F
+        assert pte_api(1 << API_SHIFT) == 1
+
+    def test_low_bits_do_not_affect_api(self):
+        assert pte_api(0x03FF) == 0
+        assert pte_api(0x0400) == 1
+
+
+class TestPackUnpack:
+    def test_valid_bit_is_msb_of_word0(self):
+        pte = HashPte(vsid=0, page_index=0, rpn=0, valid=True)
+        word0, _ = pte.pack()
+        assert word0 >> 31 == 1
+        pte.valid = False
+        word0, _ = pte.pack()
+        assert word0 >> 31 == 0
+
+    def test_known_encoding(self):
+        pte = HashPte(
+            vsid=0x123456,
+            page_index=0x0400,
+            rpn=0xABCDE,
+            valid=True,
+            secondary=True,
+            referenced=True,
+            changed=False,
+            wimg=WIMG_CACHE_INHIBIT,
+            pp=PP_RW,
+        )
+        word0, word1 = pte.pack()
+        assert word0 == (1 << 31) | (0x123456 << 7) | (1 << 6) | 0x01
+        assert word1 == (0xABCDE << 12) | (1 << 8) | (WIMG_CACHE_INHIBIT << 3) | PP_RW
+
+    @given(
+        st.integers(0, VSID_MASK),
+        st.integers(0, 0xFFFF),
+        st.integers(0, 0xFFFFF),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+        st.integers(0, 0xF),
+        st.sampled_from([PP_RW, PP_RO]),
+    )
+    def test_roundtrip(
+        self, vsid, page_index, rpn, valid, secondary, referenced, changed,
+        wimg, pp,
+    ):
+        pte = HashPte(
+            vsid=vsid,
+            page_index=page_index,
+            rpn=rpn,
+            valid=valid,
+            secondary=secondary,
+            referenced=referenced,
+            changed=changed,
+            wimg=wimg,
+            pp=pp,
+        )
+        word0, word1 = pte.pack()
+        low_bits = page_index & ((1 << API_SHIFT) - 1)
+        decoded = HashPte.unpack(word0, word1, low_page_bits=low_bits)
+        assert decoded == pte
+
+
+class TestMatching:
+    def test_matches_requires_all_fields(self):
+        pte = HashPte(vsid=5, page_index=0x1234, rpn=1)
+        assert pte.matches(5, 0x1234, secondary=False)
+        assert not pte.matches(6, 0x1234, secondary=False)
+        assert not pte.matches(5, 0x1235, secondary=False)
+        assert not pte.matches(5, 0x1234, secondary=True)
+
+    def test_invalid_pte_never_matches(self):
+        pte = HashPte(vsid=5, page_index=0x1234, rpn=1, valid=False)
+        assert not pte.matches(5, 0x1234, secondary=False)
+
+    def test_cache_inhibited_property(self):
+        assert HashPte(vsid=0, page_index=0, rpn=0,
+                       wimg=WIMG_CACHE_INHIBIT).cache_inhibited
+        assert not HashPte(vsid=0, page_index=0, rpn=0).cache_inhibited

@@ -1,0 +1,136 @@
+"""Run queue, timers, and the context-switch path."""
+
+import pytest
+
+from repro.errors import KernelPanic
+from repro.kernel.config import KernelConfig
+from repro.kernel.task import TaskState
+from repro.params import M604_185
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(M604_185, KernelConfig.optimized())
+
+
+class TestRunQueue:
+    def test_fifo_order(self, sim):
+        sched = sim.kernel.scheduler
+        tasks = [sim.kernel.spawn(f"t{i}") for i in range(3)]
+        for task in tasks:
+            sched.enqueue(task)
+        assert sched.pick_next() is tasks[0]
+        assert sched.pick_next() is tasks[1]
+
+    def test_pick_next_empty(self, sim):
+        assert sim.kernel.scheduler.pick_next() is None
+
+    def test_exited_tasks_skipped(self, sim):
+        sched = sim.kernel.scheduler
+        first = sim.kernel.spawn("a")
+        second = sim.kernel.spawn("b")
+        sched.enqueue(first)
+        sched.enqueue(second)
+        first.state = TaskState.EXITED
+        assert sched.pick_next() is second
+
+    def test_enqueue_exited_panics(self, sim):
+        task = sim.kernel.spawn("a")
+        task.state = TaskState.EXITED
+        with pytest.raises(KernelPanic):
+            sim.kernel.scheduler.enqueue(task)
+
+    def test_dequeue_removes(self, sim):
+        sched = sim.kernel.scheduler
+        task = sim.kernel.spawn("a")
+        sched.enqueue(task)
+        sched.dequeue(task)
+        assert sched.pick_next() is None
+
+    def test_runnable_count(self, sim):
+        sched = sim.kernel.scheduler
+        assert sched.runnable_count() == 0
+        sched.enqueue(sim.kernel.spawn("a"))
+        assert sched.runnable_count() == 1
+
+
+class TestTimers:
+    def test_sleep_and_expire(self, sim):
+        sched = sim.kernel.scheduler
+        task = sim.kernel.spawn("a")
+        sched.sleep_until(task, 1000)
+        assert task.state is TaskState.SLEEPING
+        assert sched.next_wakeup() == 1000
+        woken = sched.expire_timers(1000)
+        assert woken == [task]
+        assert task.state is TaskState.READY
+
+    def test_expire_only_due_timers(self, sim):
+        sched = sim.kernel.scheduler
+        early = sim.kernel.spawn("a")
+        late = sim.kernel.spawn("b")
+        sched.sleep_until(early, 100)
+        sched.sleep_until(late, 200)
+        assert sched.expire_timers(150) == [early]
+        assert sched.next_wakeup() == 200
+
+    def test_exited_sleepers_dropped(self, sim):
+        sched = sim.kernel.scheduler
+        task = sim.kernel.spawn("a")
+        sched.sleep_until(task, 100)
+        task.state = TaskState.EXITED
+        assert sched.next_wakeup() is None
+
+
+class TestContextSwitch:
+    def test_switch_loads_segment_registers(self, sim):
+        task = sim.kernel.spawn("a")
+        sim.kernel.switch_to(task)
+        assert (
+            sim.machine.segments.snapshot()[:12]
+            == tuple(task.mm.user_vsids)
+        )
+        assert sim.kernel.current_task is task
+        assert task.state is TaskState.RUNNING
+
+    def test_switch_to_self_is_free(self, sim):
+        task = sim.kernel.spawn("a")
+        sim.kernel.switch_to(task)
+        before = sim.machine.clock.total
+        assert sim.kernel.switch_to(task) == 0
+        assert sim.machine.clock.total == before
+
+    def test_previous_task_becomes_ready(self, sim):
+        first = sim.kernel.spawn("a")
+        second = sim.kernel.spawn("b")
+        sim.kernel.switch_to(first)
+        sim.kernel.switch_to(second)
+        assert first.state is TaskState.READY
+
+    def test_switch_to_exited_panics(self, sim):
+        task = sim.kernel.spawn("a")
+        task.state = TaskState.EXITED
+        with pytest.raises(KernelPanic):
+            sim.kernel.switch_to(task)
+
+    def test_switch_counts_monitor(self, sim):
+        first = sim.kernel.spawn("a")
+        second = sim.kernel.spawn("b")
+        sim.kernel.switch_to(first)
+        sim.kernel.switch_to(second)
+        assert sim.machine.monitor["context_switch"] == 2
+
+    def test_unoptimized_switch_costs_more(self):
+        def switch_cost(config):
+            sim = Simulator(M604_185, config)
+            first = sim.kernel.spawn("a")
+            second = sim.kernel.spawn("b")
+            sim.kernel.switch_to(first)
+            start = sim.machine.clock.snapshot()
+            sim.kernel.switch_to(second)
+            return sim.machine.clock.since(start)
+
+        fast = switch_cost(KernelConfig.optimized())
+        slow = switch_cost(KernelConfig.unoptimized())
+        assert slow > fast

@@ -1,0 +1,61 @@
+"""The tuning-sweep instruments."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    CutoffPoint,
+    ScatterPoint,
+    ascii_bars,
+    sweep_flush_cutoff,
+    sweep_vsid_scatter,
+)
+
+
+class TestScatterSweep:
+    def test_small_sweep_orders_pow2_below_odd(self):
+        points = sweep_vsid_scatter(
+            [2048, 37], processes=10, pages_per_process=200
+        )
+        by_constant = {point.constant: point for point in points}
+        assert by_constant[2048].occupancy < by_constant[37].occupancy
+        assert by_constant[2048].evicts > by_constant[37].evicts
+
+    def test_power_of_two_detection(self):
+        assert ScatterPoint(16, 0, 0, 0, 0).is_power_of_two
+        assert not ScatterPoint(37, 0, 0, 0, 0).is_power_of_two
+
+    def test_hot_spot_worse_for_pow2(self):
+        points = sweep_vsid_scatter(
+            [2048, 13], processes=10, pages_per_process=200
+        )
+        by_constant = {point.constant: point for point in points}
+        assert (
+            by_constant[2048].hot_spot_ratio >= by_constant[13].hot_spot_ratio
+        )
+
+    def test_small_constants_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            sweep_vsid_scatter([7], processes=2, pages_per_process=20)
+
+
+class TestCutoffSweep:
+    def test_lazy_beats_search(self):
+        points = sweep_flush_cutoff(
+            [None, 20], region_bytes=1024 * 1024
+        )
+        search, tuned = points
+        assert search.cutoff is None and tuned.cutoff == 20
+        assert tuned.mmap_us < search.mmap_us / 10
+
+
+class TestAsciiBars:
+    def test_bars_scale_to_peak(self):
+        text = ascii_bars(["a", "bb"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_empty(self):
+        assert ascii_bars([], []) == ""

@@ -1,0 +1,98 @@
+"""Task, Mm, and VMA structures."""
+
+import itertools
+
+import pytest
+
+from repro.errors import KernelPanic
+from repro.kernel.pagetable import TwoLevelPageTable
+from repro.kernel.task import Mm, Task, TaskState, Vma
+from repro.kernel.vsid import NUM_USER_SEGMENTS, kernel_vsids
+
+
+def make_mm():
+    counter = itertools.count(10)
+    table = TwoLevelPageTable(alloc_frame=lambda: next(counter))
+    return Mm(table, user_vsids=list(range(NUM_USER_SEGMENTS)))
+
+
+class TestVma:
+    def test_requires_page_alignment(self):
+        with pytest.raises(KernelPanic):
+            Vma(start=0x1001, end=0x2000)
+        with pytest.raises(KernelPanic):
+            Vma(start=0x1000, end=0x2001)
+
+    def test_rejects_empty(self):
+        with pytest.raises(KernelPanic):
+            Vma(start=0x2000, end=0x2000)
+
+    def test_contains_and_pages(self):
+        vma = Vma(start=0x10000000, end=0x10004000)
+        assert vma.contains(0x10000000)
+        assert vma.contains(0x10003FFF)
+        assert not vma.contains(0x10004000)
+        assert vma.pages == 4
+
+
+class TestMm:
+    def test_requires_twelve_user_vsids(self):
+        counter = itertools.count(10)
+        table = TwoLevelPageTable(alloc_frame=lambda: next(counter))
+        with pytest.raises(KernelPanic):
+            Mm(table, user_vsids=[1, 2, 3])
+
+    def test_segment_vsids_appends_kernel(self):
+        mm = make_mm()
+        vsids = mm.segment_vsids()
+        assert len(vsids) == 16
+        assert vsids[:12] == list(range(12))
+        assert vsids[12:] == kernel_vsids()
+
+    def test_find_vma(self):
+        mm = make_mm()
+        vma = mm.add_vma(Vma(start=0x10000000, end=0x10002000))
+        assert mm.find_vma(0x10001000) is vma
+        assert mm.find_vma(0x20000000) is None
+
+    def test_vmas_kept_sorted(self):
+        mm = make_mm()
+        mm.add_vma(Vma(start=0x30000000, end=0x30001000))
+        mm.add_vma(Vma(start=0x10000000, end=0x10001000))
+        assert [v.start for v in mm.vmas] == [0x10000000, 0x30000000]
+
+    def test_overlapping_vmas_rejected(self):
+        mm = make_mm()
+        mm.add_vma(Vma(start=0x10000000, end=0x10002000))
+        with pytest.raises(KernelPanic):
+            mm.add_vma(Vma(start=0x10001000, end=0x10003000))
+
+    def test_adjacent_vmas_allowed(self):
+        mm = make_mm()
+        mm.add_vma(Vma(start=0x10000000, end=0x10001000))
+        mm.add_vma(Vma(start=0x10001000, end=0x10002000))
+        assert len(mm.vmas) == 2
+
+    def test_remove_vma(self):
+        mm = make_mm()
+        vma = mm.add_vma(Vma(start=0x10000000, end=0x10001000))
+        mm.remove_vma(vma)
+        assert mm.find_vma(0x10000000) is None
+
+    def test_rss_tracks_resident(self):
+        mm = make_mm()
+        assert mm.rss == 0
+        mm.resident[0x10000000] = 5
+        assert mm.rss == 1
+
+
+class TestTask:
+    def test_identity_by_pid(self):
+        mm = make_mm()
+        first = Task(pid=1, name="a", mm=mm)
+        second = Task(pid=1, name="b", mm=mm)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_default_state_ready(self):
+        assert Task(pid=1, name="a", mm=make_mm()).state is TaskState.READY

@@ -1,0 +1,113 @@
+"""Trace generation: page visits and the working-set model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.hw.access import AccessKind
+from repro.params import LINES_PER_PAGE, PAGE_SIZE
+from repro.sim.trace import (
+    PageVisit,
+    WorkingSetTrace,
+    sequential_trace,
+    strided_trace,
+)
+
+
+class TestPageVisit:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PageVisit(ea=0, lines=0)
+        with pytest.raises(ConfigError):
+            PageVisit(ea=0, lines=LINES_PER_PAGE + 1)
+        with pytest.raises(ConfigError):
+            PageVisit(ea=0, lines=1, first_line=LINES_PER_PAGE)
+
+    def test_defaults(self):
+        visit = PageVisit(ea=0x1000, lines=4)
+        assert not visit.write
+        assert visit.kind is AccessKind.DATA
+        assert visit.first_line == 0
+
+
+class TestGenerators:
+    def test_sequential_trace(self):
+        visits = sequential_trace(0x10000000, pages=4, lines=8)
+        assert len(visits) == 4
+        assert visits[0].ea == 0x10000000
+        assert visits[3].ea == 0x10000000 + 3 * PAGE_SIZE
+        assert all(v.lines == 8 for v in visits)
+
+    def test_strided_trace(self):
+        visits = strided_trace(0, pages=3, stride_pages=4)
+        assert [v.ea for v in visits] == [0, 4 * PAGE_SIZE, 8 * PAGE_SIZE]
+
+    def test_strided_rejects_bad_stride(self):
+        with pytest.raises(ConfigError):
+            strided_trace(0, 3, 0)
+
+
+class TestWorkingSetTrace:
+    def make(self, **kwargs):
+        defaults = dict(
+            code_base=0x01000000,
+            code_pages=8,
+            data_base=0x10000000,
+            data_pages=32,
+            seed=1,
+        )
+        defaults.update(kwargs)
+        return WorkingSetTrace(**defaults)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.make(code_pages=0)
+        with pytest.raises(ConfigError):
+            self.make(hot_fraction=0.0)
+
+    def test_deterministic_for_same_seed(self):
+        first = self.make(seed=7).visit_list(100)
+        second = self.make(seed=7).visit_list(100)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = self.make(seed=1).visit_list(100)
+        second = self.make(seed=2).visit_list(100)
+        assert first != second
+
+    def test_visits_stay_in_bounds(self):
+        trace = self.make()
+        for visit in trace.visits(500):
+            if visit.kind is AccessKind.INSTRUCTION:
+                assert 0x01000000 <= visit.ea < 0x01000000 + 8 * PAGE_SIZE
+            else:
+                assert 0x10000000 <= visit.ea < 0x10000000 + 32 * PAGE_SIZE
+
+    def test_code_visits_are_reads(self):
+        trace = self.make()
+        for visit in trace.visits(300):
+            if visit.kind is AccessKind.INSTRUCTION:
+                assert not visit.write
+
+    def test_hot_fraction_concentrates_accesses(self):
+        concentrated = self.make(hot_fraction=0.1, drift=0.0, seed=3)
+        pages = {
+            visit.ea
+            for visit in concentrated.visits(300)
+            if visit.kind is AccessKind.DATA
+        }
+        # Mostly within the small hot window (plus the 15% wander).
+        assert len(pages) < 32
+
+    def test_first_line_varies_by_page(self):
+        trace = self.make()
+        offsets = {
+            (visit.ea, visit.first_line) for visit in trace.visits(400)
+        }
+        distinct_offsets = {offset for _, offset in offsets}
+        assert len(distinct_offsets) > 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 400))
+    def test_exact_count(self, count):
+        assert len(self.make().visit_list(count)) == count

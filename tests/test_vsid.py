@@ -1,0 +1,165 @@
+"""VSID allocation: PID scatter vs the context counter (§5.2, §7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, KernelPanic
+from repro.kernel.vsid import (
+    ContextCounterVsids,
+    KERNEL_VSID_BASE,
+    NUM_USER_SEGMENTS,
+    PidScatterVsids,
+    kernel_vsids,
+)
+
+
+class TestKernelVsids:
+    def test_four_fixed_vsids(self):
+        vsids = kernel_vsids()
+        assert len(vsids) == 4
+        assert vsids[0] == KERNEL_VSID_BASE + 12
+
+    def test_kernel_vsids_always_live(self):
+        allocator = ContextCounterVsids()
+        for vsid in kernel_vsids():
+            assert allocator.is_live(vsid)
+
+
+class TestPidScatter:
+    def test_allocation_formula(self):
+        allocator = PidScatterVsids(scatter_constant=37)
+        vsids = allocator.allocate(pid=5)
+        assert len(vsids) == NUM_USER_SEGMENTS
+        assert vsids[0] == 5 * 37
+        assert vsids[3] == 5 * 37 + 3
+
+    def test_allocated_vsids_are_live(self):
+        allocator = PidScatterVsids(37)
+        vsids = allocator.allocate(1)
+        assert all(allocator.is_live(v) for v in vsids)
+
+    def test_retire_makes_zombies(self):
+        allocator = PidScatterVsids(37)
+        vsids = allocator.allocate(1)
+        allocator.retire(vsids)
+        assert not any(allocator.is_live(v) for v in vsids)
+        assert all(allocator.is_zombie(v) for v in vsids)
+
+    def test_bump_is_not_supported(self):
+        allocator = PidScatterVsids(37)
+        vsids = allocator.allocate(1)
+        with pytest.raises(KernelPanic):
+            allocator.bump(vsids, pid=1)
+
+    def test_duplicate_allocation_panics(self):
+        allocator = PidScatterVsids(37)
+        allocator.allocate(1)
+        with pytest.raises(KernelPanic):
+            allocator.allocate(1)
+
+    def test_rejects_bad_constant(self):
+        with pytest.raises(ConfigError):
+            PidScatterVsids(0)
+
+
+class TestContextCounter:
+    def test_distinct_contexts(self):
+        allocator = ContextCounterVsids(scatter_constant=37)
+        first = allocator.allocate(pid=1)
+        second = allocator.allocate(pid=2)
+        assert set(first).isdisjoint(second)
+
+    def test_pid_is_ignored(self):
+        allocator = ContextCounterVsids(37)
+        first = allocator.allocate(pid=99)
+        second = allocator.allocate(pid=99)
+        assert set(first).isdisjoint(second)
+
+    def test_bump_retires_and_reissues(self):
+        allocator = ContextCounterVsids(37)
+        old = allocator.allocate(pid=1)
+        new = allocator.bump(old, pid=1)
+        assert set(old).isdisjoint(new)
+        assert all(allocator.is_zombie(v) for v in old)
+        assert all(allocator.is_live(v) for v in new)
+        assert allocator.bumps == 1
+
+    def test_user_vsids_never_collide_with_kernel(self):
+        allocator = ContextCounterVsids(37)
+        for _ in range(50):
+            vsids = allocator.allocate(pid=0)
+            assert all(v < KERNEL_VSID_BASE for v in vsids)
+
+    def test_wrap_invokes_handler_and_restarts(self):
+        allocator = ContextCounterVsids(37)
+        allocator.max_context = 2
+        calls = []
+
+        def on_wrap():
+            calls.append(1)
+            allocator.hard_reset()
+
+        allocator.on_wrap = on_wrap
+        allocator.allocate(0)
+        allocator.allocate(0)
+        vsids = allocator.allocate(0)  # wraps back to context 1
+        assert calls == [1]
+        assert vsids[0] == 37
+
+    def test_kernel_wrap_renumbers_live_tasks(self):
+        from repro.kernel.config import KernelConfig
+        from repro.params import M604_185
+        from repro.sim.simulator import Simulator
+
+        sim = Simulator(M604_185, KernelConfig.optimized())
+        kernel = sim.kernel
+        kernel.vsid_allocator.max_context = 6
+        task = kernel.spawn("t", data_pages=4)
+        kernel.switch_to(task)
+        kernel.user_access(task, 0x10000000, 1, True)
+        # Burn contexts until the counter wraps.
+        for _ in range(10):
+            kernel.flush.flush_mm(task.mm)
+        # The task survived the wrap with live VSIDs, and translation
+        # still works.
+        assert all(
+            kernel.vsid_allocator.is_live(v) for v in task.mm.user_vsids
+        )
+        kernel.user_access(task, 0x10000000, 1, False)
+
+    def test_wrap_without_handler_panics(self):
+        allocator = ContextCounterVsids(37)
+        allocator.max_context = 1
+        allocator.allocate(0)
+        with pytest.raises(KernelPanic):
+            allocator.allocate(0)
+
+    def test_reset_after_global_flush_clears_zombies(self):
+        allocator = ContextCounterVsids(37)
+        old = allocator.allocate(0)
+        allocator.bump(old, 0)
+        allocator.reset_after_global_flush()
+        assert not any(allocator.is_zombie(v) for v in old)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 40))
+    def test_all_live_vsids_distinct(self, contexts):
+        """The lazy-flush safety root: no two live contexts share a VSID."""
+        allocator = ContextCounterVsids(37)
+        seen = set()
+        for _ in range(contexts):
+            vsids = allocator.allocate(0)
+            for vsid in vsids:
+                assert vsid not in seen
+                seen.add(vsid)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 20))
+    def test_bumped_vsids_never_reused_before_wrap(self, bumps):
+        allocator = ContextCounterVsids(37)
+        vsids = allocator.allocate(0)
+        retired = set()
+        for _ in range(bumps):
+            retired.update(vsids)
+            vsids = allocator.bump(vsids, 0)
+            assert retired.isdisjoint(vsids)

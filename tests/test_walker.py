@@ -1,0 +1,83 @@
+"""The 604 hardware table-walk engine and its cost accounting."""
+
+from repro.hw.cache import Cache
+from repro.hw.hashtable import HashedPageTable
+from repro.hw.pte import HashPte
+from repro.hw.walker import (
+    HardwareWalker,
+    PTEG_BYTES,
+    WALK_BASE_CYCLES,
+    WALK_CYCLES_PER_REF,
+)
+
+
+def make_walker(cache_ptes=True, groups=64):
+    htab = HashedPageTable(groups=groups)
+    dcache = Cache(32 * 1024, 4, mem_cycles=52, word_cycles=11)
+    walker = HardwareWalker(htab, dcache, htab_base_pa=0x100000,
+                           cache_ptes=cache_ptes)
+    return walker, htab, dcache
+
+
+class TestWalkCosts:
+    def test_paper_cycle_ceiling_constants(self):
+        # 8 + 16 * 7 = 120, the paper's measured hardware-walk maximum.
+        assert WALK_BASE_CYCLES + 16 * WALK_CYCLES_PER_REF == 120
+
+    def test_found_walk_returns_pte(self):
+        walker, htab, _ = make_walker()
+        htab.insert(HashPte(vsid=1, page_index=0x10, rpn=9))
+        outcome = walker.walk(1, 0x10)
+        assert outcome.found and outcome.pte.rpn == 9
+
+    def test_miss_walk_probes_both_buckets(self):
+        walker, _, _ = make_walker()
+        outcome = walker.walk(1, 0x10)
+        assert not outcome.found
+        assert outcome.mem_refs == 16
+
+    def test_walk_charges_cache_accesses(self):
+        walker, _, dcache = make_walker()
+        walker.walk(1, 0x10)
+        assert dcache.stats.misses + dcache.stats.hits == 16
+
+    def test_uncached_walk_bypasses_cache(self):
+        walker, _, dcache = make_walker(cache_ptes=False)
+        walker.walk(1, 0x10)
+        assert dcache.stats.bypasses == 16
+        assert len(dcache) == 0
+
+    def test_warm_walk_cheaper_than_cold(self):
+        walker, htab, _ = make_walker()
+        htab.insert(HashPte(vsid=1, page_index=0x10, rpn=9))
+        cold = walker.walk(1, 0x10).cycles
+        warm = walker.walk(1, 0x10).cycles
+        assert warm < cold
+
+    def test_pte_physical_address_layout(self):
+        walker, _, _ = make_walker()
+        assert walker.pte_physical_address(0, 0) == 0x100000
+        assert walker.pte_physical_address(1, 0) == 0x100000 + PTEG_BYTES
+        assert walker.pte_physical_address(0, 3) == 0x100000 + 24
+
+
+class TestInsertInvalidate:
+    def test_insert_returns_event_with_cycles(self):
+        walker, htab, _ = make_walker()
+        event = walker.insert(HashPte(vsid=1, page_index=0x10, rpn=9))
+        assert event["cycles"] > 0
+        assert not event["evicted"]
+        assert htab.search(1, 0x10).found
+
+    def test_invalidate_found(self):
+        walker, htab, _ = make_walker()
+        walker.insert(HashPte(vsid=1, page_index=0x10, rpn=9))
+        event = walker.invalidate(1, 0x10)
+        assert event["found"] and event["cycles"] > 0
+        assert not htab.search(1, 0x10).found
+
+    def test_invalidate_missing_pays_full_search(self):
+        walker, _, _ = make_walker()
+        event = walker.invalidate(1, 0x10)
+        assert not event["found"]
+        assert event["mem_refs"] == 16
