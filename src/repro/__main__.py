@@ -4,6 +4,8 @@ Subcommands:
 
 * ``list`` — show the experiment registry (DESIGN.md's E1..E14 index).
 * ``run E6 E11 ...`` — run experiments and print their reports.
+* ``check [E6 ...|--all]`` — run experiments under the shadow-MMU
+  coherence sanitizer and report invariant violations.
 * ``table1`` / ``table2`` / ``table3`` — shortcuts for the paper's tables.
 * ``machines`` — show the modelled machines and their derived timings.
 """
@@ -49,6 +51,26 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    # Imported here, not at the top: the runner pulls in the experiment
+    # registry, which is heavy and unneeded for the other subcommands.
+    from repro.check import runner as check_runner
+
+    ids = None if (args.all or not args.ids) else args.ids
+    try:
+        run = check_runner.run_checked(
+            ids=ids,
+            sweep_every=args.sweep_every,
+            progress=lambda key: print(f"checking {key} ..."),
+        )
+    except KeyError as exc:
+        print(f"unknown experiment {exc.args[0]!r} "
+              f"(try: python -m repro list)", file=sys.stderr)
+        return 2
+    print(run.report())
+    return 0 if run.ok else 1
+
+
 def _cmd_machines(_args) -> int:
     print(f"{'machine':<14}{'walk':<10}{'TLB (I/D)':<12}{'L1 (I/D)':<12}"
           f"{'L2':<8}{'line fill':<12}{'word'}")
@@ -76,6 +98,19 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="list the experiment registry")
     run = sub.add_parser("run", help="run experiments by id (e.g. E6 E11)")
     run.add_argument("ids", nargs="+", metavar="EXPERIMENT")
+    chk = sub.add_parser(
+        "check", help="run experiments under the shadow-MMU sanitizer"
+    )
+    chk.add_argument("ids", nargs="*", metavar="EXPERIMENT")
+    chk.add_argument(
+        "--all", action="store_true",
+        help="check the full registry (default when no ids given)",
+    )
+    chk.add_argument(
+        "--sweep-every", type=int, default=50_000, metavar="N",
+        help="full invariant sweep every N checked translations "
+             "(default 50000, 0 disables periodic sweeps)",
+    )
     sub.add_parser("table1", help="reproduce Table 1")
     sub.add_parser("table2", help="reproduce Table 2")
     sub.add_parser("table3", help="reproduce Table 3")
@@ -86,6 +121,8 @@ def main(argv=None) -> int:
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "machines":
         return _cmd_machines(args)
     shortcut = {"table1": "E5", "table2": "E6", "table3": "E11"}

@@ -1,0 +1,97 @@
+"""Violation recording and reporting for the shadow-MMU sanitizer.
+
+A :class:`ViolationReporter` accumulates invariant violations grouped by
+*context* — one context per experiment when driven by ``repro check``,
+or the ``default`` context for a directly attached sanitizer.  Counts
+are complete; full violation records are capped per context so a
+systematically broken invariant cannot eat unbounded memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Violation:
+    """One detected breach of a coherence invariant."""
+
+    #: Short invariant name, e.g. ``stale-tlb-entry``.
+    invariant: str
+    #: Human-readable specifics (addresses, VSIDs, frames involved).
+    detail: str
+    #: The reporting context (experiment id) it occurred under.
+    context: str
+
+
+class ViolationReporter:
+    """Accumulates violations, grouped per context."""
+
+    #: Full records kept per context; counts are always complete.
+    MAX_RECORDED_PER_CONTEXT = 50
+
+    def __init__(self):
+        self.total = 0
+        self.context = "default"
+        self._counts: Dict[str, Dict[str, int]] = {}
+        self._recorded: Dict[str, List[Violation]] = {}
+
+    # -- context management ------------------------------------------------------
+
+    def begin_context(self, label: str) -> None:
+        self.context = label
+
+    def end_context(self) -> None:
+        self.context = "default"
+
+    # -- recording ----------------------------------------------------------------
+
+    def record(self, invariant: str, detail: str) -> Violation:
+        violation = Violation(invariant, detail, self.context)
+        self.total += 1
+        counts = self._counts.setdefault(self.context, {})
+        counts[invariant] = counts.get(invariant, 0) + 1
+        recorded = self._recorded.setdefault(self.context, [])
+        if len(recorded) < self.MAX_RECORDED_PER_CONTEXT:
+            recorded.append(violation)
+        return violation
+
+    # -- queries --------------------------------------------------------------------
+
+    def count(self, context: Optional[str] = None) -> int:
+        """Violations recorded in one context (or in total)."""
+        if context is None:
+            return self.total
+        return sum(self._counts.get(context, {}).values())
+
+    def contexts(self) -> List[str]:
+        return sorted(self._counts)
+
+    def violations(self, context: Optional[str] = None) -> List[Violation]:
+        if context is not None:
+            return list(self._recorded.get(context, []))
+        return [v for ctx in sorted(self._recorded) for v in self._recorded[ctx]]
+
+    def counts_by_invariant(self, context: str) -> Dict[str, int]:
+        return dict(self._counts.get(context, {}))
+
+    # -- formatting -------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Per-context breakdown, one line per (context, invariant)."""
+        if self.total == 0:
+            return "no invariant violations"
+        lines = [f"{self.total} invariant violation(s)"]
+        for context in self.contexts():
+            for invariant, count in sorted(self._counts[context].items()):
+                lines.append(f"  {context:<10} {invariant:<28} x{count}")
+        shown = self.violations()
+        if shown:
+            lines.append("first recorded violations:")
+            for violation in shown[:10]:
+                lines.append(
+                    f"  [{violation.context}] {violation.invariant}: "
+                    f"{violation.detail}"
+                )
+        return "\n".join(lines)

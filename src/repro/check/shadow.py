@@ -1,0 +1,108 @@
+"""The shadow MMU: ground truth the hardware state is validated against.
+
+The Linux page tables are "the initial source of PTEs" — the hash table
+and TLBs are only caches of them, and the VSID allocator decides which
+cached entries are reachable at all.  :class:`ShadowMMU` therefore never
+mirrors events; it *re-derives* the expected outcome of any translation
+from the page tables, the VSID liveness sets and the BAT array, all via
+pure reads (``peek`` / ``pte_at`` / ``lookup``) so observing the machine
+never perturbs the cycle ledger or the monitor counters the experiments
+measure.
+
+The one piece of genuinely shadowed state is page-zeroing: the §9
+pre-cleared list promises callers a zero page, which nothing in the
+model can re-derive, so the shadow tracks which frames were cleared and
+forgets them again on any translated write to the frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.hw.access import AccessKind
+from repro.kernel.vsid import NUM_USER_SEGMENTS, kernel_vsids
+from repro.params import KERNELBASE, PAGE_SHIFT
+
+
+class ShadowMMU:
+    """Ground-truth oracle over one kernel's MMU state."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        #: Frames known to contain zeroes (cleared, never written since).
+        self._zeroed: Set[int] = set()
+
+    # -- address resolution --------------------------------------------------------
+
+    def mm_for(self, ea: int):
+        """The address space that owns ``ea`` right now (None if no task)."""
+        if ea >= KERNELBASE:
+            return self.kernel.kernel_mm
+        task = self.kernel.current_task
+        return task.mm if task is not None else None
+
+    def expected_frame(self, ea: int, kind: AccessKind) -> Optional[int]:
+        """The frame a translation of ``ea`` must resolve to, or None.
+
+        Recomputes the BAT match (BATs win over page translation, §3)
+        and otherwise consults the owning address space's Linux page
+        table — the source of truth every cached translation must agree
+        with.
+        """
+        machine = self.kernel.machine
+        bat = machine.bats.lookup(
+            ea, instruction=kind is AccessKind.INSTRUCTION
+        )
+        if bat is not None:
+            return bat.translate(ea) >> PAGE_SHIFT
+        mm = self.mm_for(ea)
+        if mm is None:
+            return None
+        pte = mm.page_table.lookup(ea).pte
+        if pte is None or not pte.present:
+            return None
+        return pte.pfn
+
+    def expected_vsid(self, ea: int) -> Optional[int]:
+        """The VSID the segment registers should supply for ``ea``."""
+        segment = (ea >> 28) & 0xF
+        if segment >= NUM_USER_SEGMENTS:
+            return kernel_vsids()[segment - NUM_USER_SEGMENTS]
+        task = self.kernel.current_task
+        if task is None:
+            return None
+        return task.mm.user_vsids[segment]
+
+    def ownership(self) -> Dict[int, Tuple[object, int]]:
+        """Map every live VSID to its ``(mm, segment)`` owner.
+
+        Rebuilt on demand from the kernel's task table — the shadow does
+        not track allocation events, so it cannot drift from the thing it
+        is validating.
+        """
+        owners: Dict[int, Tuple[object, int]] = {}
+        for segment, vsid in enumerate(kernel_vsids(), start=NUM_USER_SEGMENTS):
+            owners[vsid] = (self.kernel.kernel_mm, segment)
+        for task in self.kernel.tasks.values():
+            for segment, vsid in enumerate(task.mm.user_vsids):
+                owners[vsid] = (task.mm, segment)
+        return owners
+
+    def frame_for_owner(self, mm, segment: int, page_index: int) -> Optional[int]:
+        """Expected frame for a cached (VSID-owned) translation."""
+        ea = (segment << 28) | (page_index << PAGE_SHIFT)
+        pte = mm.page_table.lookup(ea).pte
+        if pte is None or not pte.present:
+            return None
+        return pte.pfn
+
+    # -- page-zero tracking -----------------------------------------------------------
+
+    def note_cleared(self, pfn: int) -> None:
+        self._zeroed.add(pfn)
+
+    def note_write_frame(self, pfn: int) -> None:
+        self._zeroed.discard(pfn)
+
+    def is_zeroed(self, pfn: int) -> bool:
+        return pfn in self._zeroed

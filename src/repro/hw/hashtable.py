@@ -121,6 +121,27 @@ class HashedPageTable:
         """Direct slot read (for the walker and white-box tests)."""
         return self._table[group_index][slot]
 
+    def peek(self, vsid: int, page_index: int) -> Optional[HashPte]:
+        """Search without touching counters or the miss histogram.
+
+        For assertions and the coherence sanitizer, which must observe
+        the table without perturbing the statistics the experiments
+        measure.
+        """
+        for secondary in (False, True):
+            group = self._table[self.group_index(vsid, page_index, secondary)]
+            for pte in group:
+                if pte is not None and pte.matches(vsid, page_index, secondary):
+                    return pte
+        return None
+
+    def iter_valid(self):
+        """Yield ``(group_index, slot, pte)`` for every valid PTE."""
+        for group_index, group in enumerate(self._table):
+            for slot, pte in enumerate(group):
+                if pte is not None and pte.valid:
+                    yield group_index, slot, pte
+
     # -- reload / insert ------------------------------------------------------
 
     def insert(self, pte: HashPte, probe=None) -> dict:

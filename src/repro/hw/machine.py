@@ -114,6 +114,11 @@ class MachineModel:
             self.htab, self.dcache, self.htab_base_pa, cache_ptes=cache_ptes
         )
         self.refill_handler: Optional[RefillHandler] = None
+        #: Opt-in shadow-MMU coherence sanitizer (``repro.check``).  When
+        #: set, every translation served by any path is cross-validated
+        #: against ground truth; the kernel's flush/reclaim/preclear
+        #: paths also consult it at their commit points.
+        self.sanitizer = None
 
     # -- configuration --------------------------------------------------------
 
@@ -133,6 +138,14 @@ class MachineModel:
         self, ea: int, kind: AccessKind = AccessKind.DATA, write: bool = False
     ) -> TranslationResult:
         """Translate one EA, charging all miss costs to the ledger."""
+        result = self._translate(ea, kind, write)
+        if self.sanitizer is not None:
+            self.sanitizer.check_translation(ea, kind, write, result)
+        return result
+
+    def _translate(
+        self, ea: int, kind: AccessKind, write: bool
+    ) -> TranslationResult:
         # Block address translation proceeds in parallel with the page
         # lookup and wins if it matches (§3) — zero added latency.
         bat = self.bats.lookup(ea, instruction=kind is AccessKind.INSTRUCTION)

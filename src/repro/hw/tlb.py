@@ -102,17 +102,25 @@ class Tlb:
 
     # -- invalidation ------------------------------------------------------
 
-    def invalidate_page(self, page_index: int) -> int:
-        """`tlbie`: drop every entry whose EA page index matches.
+    def invalidate_page(self, page_index: int, vsid: Optional[int] = None) -> int:
+        """`tlbie`: drop entries whose EA page index matches.
 
-        The architected instruction invalidates by EA (all VSIDs in the
-        indexed set whose page index matches), which is why per-page
-        flushes are cheap for the TLB but the hash table still needs the
-        expensive search the paper complains about.
+        With ``vsid=None`` this is the architected instruction — it
+        invalidates by EA alone (all VSIDs in the indexed set whose page
+        index matches), which is why per-page flushes are cheap for the
+        TLB but the hash table still needs the expensive search the paper
+        complains about.  Passing the owning VSID restricts the kill to
+        that context, so flushing one address space cannot evict another
+        context's translation of the same page index.
         """
         entries = self._sets[self.set_index(page_index)]
         before = len(entries)
-        entries[:] = [e for e in entries if e.page_index != page_index]
+        entries[:] = [
+            e
+            for e in entries
+            if e.page_index != page_index
+            or (vsid is not None and e.vsid != vsid)
+        ]
         removed = before - len(entries)
         self.invalidate_entry_count += 1
         return removed

@@ -76,6 +76,11 @@ class KernelConfig:
     on_demand_scavenge: bool = False
     #: §9 — idle-task page clearing policy.
     idle_page_clear: IdlePageClearPolicy = IdlePageClearPolicy.OFF
+    #: §9 — cap on the pre-cleared stock.  ``None`` reproduces the paper:
+    #: no bound, the idle task clears every free page it can.  A bound
+    #: models the SMP-footnote concern about burning bus bandwidth on
+    #: pages nobody will allocate soon.
+    idle_preclear_target: object = None
     #: §8 — whether page-table memory (hash table + PTE tree) may allocate
     #: into the data cache.  True matches the hardware default the paper
     #: criticizes.
@@ -115,6 +120,8 @@ class KernelConfig:
             raise ConfigError("vsid_scatter_constant must be positive")
         if self.range_flush_cutoff is not None and self.range_flush_cutoff < 1:
             raise ConfigError("range_flush_cutoff must be >= 1 or None")
+        if self.idle_preclear_target is not None and self.idle_preclear_target < 0:
+            raise ConfigError("idle_preclear_target must be >= 0 or None")
         if self.pipe_copy_multiplier < 1:
             raise ConfigError("pipe_copy_multiplier must be >= 1")
         if self.pipe_op_extra_cycles < 0:

@@ -14,8 +14,10 @@ range-flush cutoff applies the lazy strategy to any range larger than
 from __future__ import annotations
 
 from repro.hw.machine import MachineModel
+from repro.kernel.vsid import kernel_vsids
 from repro.params import (
     FLUSH_PTE_TREE_CYCLES,
+    KERNELBASE,
     PAGE_SIZE,
     TLBIE_CYCLES,
     VSID_BUMP_CYCLES,
@@ -37,25 +39,48 @@ class FlushEngine:
             return True
         return self.config.use_htab_on_603
 
+    def _flush_vsid_for(self, mm, ea: int) -> int:
+        """The VSID whose translation of ``ea`` is being invalidated.
+
+        User segments resolve through the mm's VSID set; kernel segments
+        12..15 use the fixed kernel VSIDs (``mm`` may be the kernel mm,
+        whose ``user_vsids`` list is empty).
+        """
+        segment = (ea >> 28) & 0xF
+        if ea < KERNELBASE:
+            return mm.user_vsids[segment]
+        return kernel_vsids()[segment - 12]
+
     def _search_flush_page(self, mm, ea: int) -> int:
         """Invalidate one page the hard way: hash search + tlbie."""
         machine = self.machine
         page_index = (ea >> 12) & 0xFFFF
-        vsid = mm.user_vsids[(ea >> 28) & 0xF] if ea < 0xC0000000 else None
+        vsid = self._flush_vsid_for(mm, ea)
         cycles = FLUSH_PTE_TREE_CYCLES
-        if self._uses_htab() and vsid is not None:
+        if self._uses_htab():
             event = machine.walker.invalidate(vsid, page_index)
             cycles += event["cycles"]
         cycles += TLBIE_CYCLES
-        machine.itlb.invalidate_page(page_index)
-        machine.dtlb.invalidate_page(page_index)
+        machine.itlb.invalidate_page(page_index, vsid=vsid)
+        machine.dtlb.invalidate_page(page_index, vsid=vsid)
         machine.clock.add(cycles, "flush")
+        if machine.sanitizer is not None:
+            machine.sanitizer.after_page_flush(mm, ea, vsid)
         return cycles
 
     def _bump_context(self, mm) -> int:
         """The lazy whole-context invalidate: swap the mm onto new VSIDs."""
         kernel = self.kernel
-        new_vsids = kernel.vsid_allocator.bump(mm.user_vsids, pid=0)
+        old_vsids = list(mm.user_vsids)
+        # The allocation may wrap the context counter, which triggers
+        # flush_everything + renumbering of every *other* context; this
+        # mm is marked in-bump so the wrap protocol leaves its numbering
+        # to the allocation already in flight.
+        kernel._mm_in_bump = mm
+        try:
+            new_vsids = kernel.vsid_allocator.bump(old_vsids, pid=0)
+        finally:
+            kernel._mm_in_bump = None
         mm.user_vsids = list(new_vsids)
         cycles = VSID_BUMP_CYCLES
         if kernel.current_task is not None and kernel.current_task.mm is mm:
@@ -65,6 +90,8 @@ class FlushEngine:
         self.machine.monitor.count("vsid_bump")
         self.machine.monitor.count("flush_range_lazy")
         self.machine.clock.add(cycles, "flush")
+        if self.machine.sanitizer is not None:
+            self.machine.sanitizer.after_context_bump(mm, old_vsids, new_vsids)
         return cycles
 
     # -- public API ------------------------------------------------------------------
@@ -111,12 +138,20 @@ class FlushEngine:
         return cycles
 
     def flush_everything(self) -> int:
-        """Nuclear option: used on VSID-counter wrap."""
+        """Nuclear option: drop every translation everywhere.
+
+        Used on VSID-counter wrap, but callable at any time; the kernel's
+        :meth:`~repro.kernel.kernel.Kernel.post_global_flush` runs either
+        way, so the allocator restart and context renumbering can never
+        drift apart from the hardware state (they previously could when
+        this was invoked outside the wrap path).
+        """
         machine = self.machine
         cleared = machine.htab.invalidate_all()
         machine.invalidate_tlbs()
         cycles = max(cleared, 1) * 2 + TLBIE_CYCLES
         machine.clock.add(cycles, "flush")
-        if hasattr(self.kernel.vsid_allocator, "reset_after_global_flush"):
-            self.kernel.vsid_allocator.reset_after_global_flush()
+        self.kernel.post_global_flush()
+        if machine.sanitizer is not None:
+            machine.sanitizer.after_global_flush()
         return cycles

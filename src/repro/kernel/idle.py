@@ -79,7 +79,12 @@ class IdleTask:
     # -- zombie reclaim ----------------------------------------------------------------
 
     def _reclaim_chunk(self) -> bool:
-        """Scan one chunk of the hash table for zombie PTEs."""
+        """Scan one chunk of the hash table for zombie PTEs.
+
+        Returns whether any zombie was actually reclaimed, so ``run``
+        can fall back to spinning (and account the window as idle time)
+        when the scan comes up empty.
+        """
         machine = self.machine
         is_live = self.kernel.vsid_allocator.is_live
         cycles = 0
@@ -104,13 +109,15 @@ class IdleTask:
                 machine.monitor.count("zombie_reclaimed")
                 reclaimed += 1
                 cycles += 2  # the store clearing the valid bit
+                if machine.sanitizer is not None:
+                    machine.sanitizer.after_reclaim_slot(flat, pte)
         self._scan_position = (
             self._scan_position + RECLAIM_CHUNK_SLOTS
         ) % HTAB_PTE_SLOTS
         machine.clock.add(cycles, "idle_reclaim")
         self.reclaim_passes += 1
         self.zombies_reclaimed += reclaimed
-        return True
+        return reclaimed > 0
 
     # -- page clearing -------------------------------------------------------------------
 
@@ -118,8 +125,9 @@ class IdleTask:
         """Clear one free page according to the §9 policy."""
         palloc = self.kernel.palloc
         policy = self.config.idle_page_clear
-        # Keep a bounded stock of pre-cleared pages; clearing the whole
-        # free list would only burn bus bandwidth (§9's SMP footnote).
+        # Stop once the stock reaches the target: unbounded by default
+        # (§9 clears whatever free pages exist), or the configured cap —
+        # see _preclear_target.
         if policy is not IdlePageClearPolicy.UNCACHED_NO_LIST:
             if palloc.precleared_count() >= self._preclear_target():
                 return False
@@ -144,6 +152,11 @@ class IdleTask:
 
         §9 puts no bound on the list — the idle task clears whatever free
         pages exist ("all these writes to memory using a great deal of
-        the bus"), which is precisely why the cached variant hurt.
+        the bus"), which is precisely why the cached variant hurt.  That
+        unbounded behaviour is the default; ``idle_preclear_target``
+        bounds the stock for configurations (e.g. the SMP footnote's bus
+        concern) where clearing the whole free list is wasted work.
         """
+        if self.config.idle_preclear_target is not None:
+            return self.config.idle_preclear_target
         return self.kernel.palloc.total_frames

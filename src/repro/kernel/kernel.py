@@ -122,6 +122,9 @@ class Kernel:
         self.tasks: Dict[int, Task] = {}
         self._next_pid = 1
         self.current_task: Optional[Task] = None
+        #: The mm whose VSID bump is in flight (see FlushEngine._bump_context);
+        #: a counter wrap during the bump must not renumber it.
+        self._mm_in_bump: Optional[Mm] = None
         #: pid -> tasks blocked in waitpid() on that pid.
         self.exit_waiters: Dict[int, List[Task]] = {}
         # Kernel segment registers live for the whole boot.
@@ -168,12 +171,43 @@ class Kernel:
             self.vsid_allocator = allocator
 
     def _on_vsid_wrap(self) -> None:
-        """Context-counter exhaustion: flush the world, renumber everyone."""
+        """Context-counter exhaustion: flush the world, renumber everyone.
+
+        All of the actual work lives in :meth:`post_global_flush`, which
+        ``flush_everything`` invokes unconditionally — the wrap path and a
+        direct ``flush_everything`` call follow the same protocol.
+        """
         self.flush.flush_everything()
-        self.vsid_allocator.hard_reset()
+
+    def post_global_flush(self) -> None:
+        """The single coherent protocol after a flush-everything event.
+
+        Every translation is gone from the TLBs and hash table, so:
+
+        * zombies are truly gone for either allocator strategy;
+        * with the context counter, retired VSID numbers are safe to
+          reuse — restart the counter and renumber every live context
+          (reloading the live segment registers so the current task's new
+          VSIDs take effect immediately).
+
+        An mm whose bump is in flight (``_mm_in_bump``) is skipped: its
+        fresh VSIDs come from the allocation that triggered the wrap.
+        """
+        allocator = self.vsid_allocator
+        allocator.reset_after_global_flush()
+        if not isinstance(allocator, ContextCounterVsids):
+            # PID-derived VSIDs are fixed for the process lifetime;
+            # nothing to renumber.
+            return
+        allocator.hard_reset()
         for task in self.tasks.values():
-            task.mm.user_vsids = self.vsid_allocator.allocate(task.pid)
-        if self.current_task is not None:
+            if task.mm is self._mm_in_bump:
+                continue
+            task.mm.user_vsids = allocator.allocate(task.pid)
+        if (
+            self.current_task is not None
+            and self.current_task.mm is not self._mm_in_bump
+        ):
             self.machine.context_switch_segments(
                 self.current_task.mm.segment_vsids()
             )
@@ -769,6 +803,11 @@ class Kernel:
         return self.idle_task.run(window_cycles)
 
     # -- diagnostics ---------------------------------------------------------------------------------
+
+    @property
+    def sanitizer(self):
+        """The attached shadow-MMU sanitizer, if any (see ``repro.check``)."""
+        return self.machine.sanitizer
 
     def live_vsid(self, vsid: int) -> bool:
         return self.vsid_allocator.is_live(vsid)

@@ -82,6 +82,8 @@ class PageAllocator:
             self._allocated.add(pfn)
             self.precleared_hits += 1
             self.machine.monitor.count("precleared_page_used")
+            if self.machine.sanitizer is not None:
+                self.machine.sanitizer.check_precleared_pop(pfn)
             return pfn
         pfn = self._pop_free()
         self._allocated.add(pfn)
@@ -113,6 +115,8 @@ class PageAllocator:
                 base + line * cache.line_size, write=True, inhibited=inhibited
             )
         self.machine.clock.add(cycles, category)
+        if self.machine.sanitizer is not None:
+            self.machine.sanitizer.note_page_cleared(pfn)
         return cycles
 
     # -- the idle task's side ------------------------------------------------------
@@ -124,6 +128,8 @@ class PageAllocator:
         return self._free.popleft()
 
     def push_precleared(self, pfn: int) -> None:
+        if self.machine.sanitizer is not None:
+            self.machine.sanitizer.check_precleared_push(pfn)
         self._precleared.append(pfn)
         self.machine.monitor.count("pages_precleared")
 
@@ -138,6 +144,10 @@ class PageAllocator:
 
     def precleared_count(self) -> int:
         return len(self._precleared)
+
+    def precleared_pages(self) -> tuple:
+        """Snapshot of the pre-cleared list (for the sanitizer)."""
+        return tuple(self._precleared)
 
     def allocated_count(self) -> int:
         return len(self._allocated)

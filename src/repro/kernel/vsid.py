@@ -56,6 +56,23 @@ class VsidAllocatorBase:
     def live_count(self) -> int:
         return len(self._live)
 
+    def live_vsids(self) -> frozenset:
+        """The live set (for diagnostics and the coherence sanitizer)."""
+        return frozenset(self._live)
+
+    def zombie_vsids(self) -> frozenset:
+        return frozenset(self._zombies)
+
+    def reset_after_global_flush(self) -> None:
+        """After a flush-everything event, zombies are truly gone.
+
+        Both strategies share this much; the context counter additionally
+        restarts via :meth:`ContextCounterVsids.hard_reset` (driven by the
+        kernel's post-global-flush protocol, which must also renumber
+        every live context).
+        """
+        self._zombies.clear()
+
     def _make_live(self, vsids: List[int]) -> None:
         for vsid in vsids:
             if vsid in self._live:
@@ -167,7 +184,3 @@ class ContextCounterVsids(VsidAllocatorBase):
         self._make_live(vsids)
         self.bumps += 1
         return vsids
-
-    def reset_after_global_flush(self) -> None:
-        """After a flush-everything event, zombies are truly gone."""
-        self._zombies.clear()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro import check
 from repro.hw.machine import MachineModel
 from repro.kernel.config import KernelConfig
 from repro.kernel.kernel import Kernel
@@ -26,6 +27,7 @@ class Simulator:
         config: Optional[KernelConfig] = None,
         ram_bytes: int = RAM_BYTES,
         htab_groups: int = HTAB_GROUPS,
+        sanitize: bool = False,
     ):
         self.spec = spec
         self.config = config if config is not None else KernelConfig.unoptimized()
@@ -37,6 +39,9 @@ class Simulator:
         )
         self.kernel = Kernel(self.machine, self.config)
         self.executive = Executive(self.kernel)
+        self.sanitizer = None
+        if sanitize or check.global_check_active():
+            self.sanitizer = check.attach_sanitizer(self.kernel)
 
     # -- measurement ------------------------------------------------------------
 

@@ -10,7 +10,8 @@ import pytest
 
 from repro.errors import TranslationError
 from repro.kernel.config import KernelConfig, VsidPolicy
-from repro.params import M604_185, PAGE_SIZE
+from repro.kernel.vsid import kernel_vsids
+from repro.params import KERNELBASE, M604_185, PAGE_SIZE
 from repro.sim.simulator import Simulator
 
 
@@ -160,3 +161,93 @@ class TestSafetyInvariant:
         assert len(sim.machine.dtlb) == 0
         # Access still works afterwards (refault path).
         sim.kernel.user_access(task, addr, 1, False)
+
+
+class TestFlushTargeting:
+    """Per-page flushes must hit exactly the context they were asked for."""
+
+    def test_kernel_page_flush_invalidates_htab_and_tlb(self):
+        # Without the BAT map, kernel pages sit in the TLB and hash table
+        # like any others, and flushing one must actually remove it (the
+        # kernel-EA path used to resolve no VSID and skip the hash table).
+        sim = Simulator(
+            M604_185,
+            KernelConfig.optimized().with_changes(bat_kernel_map=False),
+        )
+        kernel = sim.kernel
+        ea = KERNELBASE + 0x300000
+        sim.machine.translate(ea)
+        vsid = kernel_vsids()[0]
+        page_index = (ea >> 12) & 0xFFFF
+        assert sim.machine.htab.peek(vsid, page_index) is not None
+        assert sim.machine.dtlb.peek(vsid, page_index) is not None
+        kernel.flush.flush_page(kernel.kernel_mm, ea)
+        assert sim.machine.htab.peek(vsid, page_index) is None
+        assert sim.machine.dtlb.peek(vsid, page_index) is None
+
+    def test_flush_page_spares_other_context_same_page_index(self):
+        # tlbie by EA alone would also kill the *other* process's cached
+        # translation of the same page index; the flush must pass the
+        # owning VSID so only the requested context loses its entry.
+        sim = boot_search()
+        kernel = sim.kernel
+        t1 = kernel.spawn("a", data_pages=4)
+        kernel.switch_to(t1)
+        addr = kernel.sys_mmap(t1, PAGE_SIZE)
+        kernel.user_access(t1, addr, 1, True)
+        t2 = kernel.spawn("b", data_pages=4)
+        kernel.switch_to(t2)
+        assert kernel.sys_mmap(t2, PAGE_SIZE, addr=addr) == addr
+        kernel.user_access(t2, addr, 1, True)
+        page_index = (addr >> 12) & 0xFFFF
+        v1 = t1.mm.user_vsids[(addr >> 28) & 0xF]
+        v2 = t2.mm.user_vsids[(addr >> 28) & 0xF]
+        assert sim.machine.dtlb.peek(v1, page_index) is not None
+        assert sim.machine.dtlb.peek(v2, page_index) is not None
+        kernel.flush.flush_page(t1.mm, addr)
+        assert sim.machine.dtlb.peek(v1, page_index) is None
+        assert sim.machine.htab.peek(v1, page_index) is None
+        assert sim.machine.dtlb.peek(v2, page_index) is not None
+        assert sim.machine.htab.peek(v2, page_index) is not None
+
+
+class TestGlobalFlushProtocol:
+    """flush_everything and counter wrap follow one coherent protocol."""
+
+    def test_flush_everything_renumbers_contexts(self):
+        sim = boot_lazy()
+        kernel = sim.kernel
+        task, addr = map_and_touch(sim, 8)
+        # Advance the task off context 1 so renumbering is observable.
+        kernel.flush.flush_mm(task.mm)
+        bumped = list(task.mm.user_vsids)
+        kernel.flush.flush_everything()
+        allocator = kernel.vsid_allocator
+        # A direct flush_everything must restart the counter and
+        # renumber, exactly like the wrap path (it used to only clear
+        # the zombie set, leaving retired numbers unreusable).
+        assert task.mm.user_vsids != bumped
+        assert not any(allocator.is_live(v) for v in bumped)
+        assert allocator.zombie_vsids() == frozenset()
+        assert (
+            sim.machine.segments.snapshot()[:12]
+            == tuple(task.mm.user_vsids)
+        )
+        kernel.user_access(task, addr, 1, False)
+
+    def test_counter_wrap_during_bump_keeps_context_coherent(self):
+        sim = boot_lazy()
+        kernel = sim.kernel
+        task, addr = map_and_touch(sim, 4)
+        allocator = kernel.vsid_allocator
+        # Force the next allocation to wrap mid-bump: the wrap handler
+        # renumbers every context EXCEPT the one whose bump is in
+        # flight, whose fresh VSIDs come from the bump itself.  Without
+        # that exclusion the wrap-time renumbering was immediately
+        # overwritten, leaking a live context nobody owned.
+        allocator._next_context = allocator.max_context + 1
+        kernel.flush.flush_mm(task.mm)
+        assert all(allocator.is_live(v) for v in task.mm.user_vsids)
+        # Exactly the kernel's 4 VSIDs plus the task's 12 are live.
+        assert allocator.live_count() == 4 + 12
+        kernel.user_access(task, addr, 1, False)

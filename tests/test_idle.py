@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.kernel.config import IdlePageClearPolicy, KernelConfig
 from repro.params import M604_185, PAGE_SIZE
 from repro.sim.simulator import Simulator
@@ -64,6 +65,15 @@ class TestZombieReclaim:
         live_after, _ = kernel.htab_zombie_stats()
         assert live_after == live_before
 
+    def test_empty_scan_counts_as_idle_spin(self):
+        # A reclaim pass over a table with nothing to reclaim is not
+        # "work": the loop must fall through to spinning so the window
+        # is accounted as idle time (the scan used to report work
+        # unconditionally, keeping the spin path unreachable).
+        sim = boot_idle(idle_page_clear=IdlePageClearPolicy.OFF)
+        sim.kernel.run_idle(100000)
+        assert sim.machine.clock.category("idle_spin") > 0
+
     def test_reclaim_disabled_leaves_zombies(self):
         sim = boot_idle(idle_zombie_reclaim=False,
                         idle_page_clear=IdlePageClearPolicy.OFF)
@@ -111,6 +121,30 @@ class TestPageClearing:
         )
         sim.kernel.run_idle(200000)
         assert sim.kernel.idle_task.pages_cleared == 0
+
+
+class TestPreclearTarget:
+    """§9's stock is unbounded by default; idle_preclear_target caps it."""
+
+    def test_bounded_stock_stops_at_target(self):
+        sim = boot_idle(idle_zombie_reclaim=False, idle_preclear_target=4)
+        sim.kernel.run_idle(500000)
+        assert sim.kernel.palloc.precleared_count() == 4
+
+    def test_target_zero_disables_stocking(self):
+        sim = boot_idle(idle_zombie_reclaim=False, idle_preclear_target=0)
+        sim.kernel.run_idle(200000)
+        assert sim.kernel.palloc.precleared_count() == 0
+        assert sim.kernel.idle_task.pages_cleared == 0
+
+    def test_unbounded_default_keeps_clearing(self):
+        sim = boot_idle(idle_zombie_reclaim=False)
+        sim.kernel.run_idle(500000)
+        assert sim.kernel.palloc.precleared_count() > 4
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ConfigError):
+            KernelConfig(idle_preclear_target=-1)
 
 
 class TestAccounting:
