@@ -6,6 +6,11 @@ with one round — the experiments are deterministic simulations, so
 statistical repetition only wastes time), asserts the paper's
 qualitative shape, and archives the human-readable report under
 ``benchmarks/reports/`` for EXPERIMENTS.md.
+
+Each run also happens under the flight recorder's cycle profiler (zero
+perturbation, see ``repro.obs``), so ``record_report`` can write a
+machine-readable ``reports/<id>.json`` record next to the text report
+and keep the repo-root ``BENCH_results.json`` aggregate current.
 """
 
 from __future__ import annotations
@@ -14,7 +19,12 @@ import pathlib
 
 import pytest
 
+from repro import obs
+from repro.obs import metrics
+
 REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BENCH_RESULTS = REPO_ROOT / "BENCH_results.json"
 
 
 @pytest.fixture(scope="session")
@@ -23,9 +33,19 @@ def report_dir() -> pathlib.Path:
     return REPORTS_DIR
 
 
+@pytest.fixture(autouse=True)
+def _observe_experiments():
+    """Profile every Simulator the benchmark's experiment boots."""
+    obs.enable_global_observability(profile=True)
+    try:
+        yield
+    finally:
+        obs.disable_global_observability()
+
+
 @pytest.fixture
 def record_report(report_dir):
-    """Save an experiment's report and echo it to the terminal."""
+    """Save an experiment's report (text + JSON) and echo it."""
 
     def _record(result):
         path = report_dir / f"{result.experiment}.txt"
@@ -34,6 +54,10 @@ def record_report(report_dir):
             body += f"\n  notes: {result.notes}"
         body += f"\n  shape_holds: {result.shape_holds}\n"
         path.write_text(body)
+        observed = obs.drain_global_observed()
+        record = metrics.experiment_record(result, observed)
+        metrics.write_experiment_record(record, report_dir)
+        metrics.write_bench_results(report_dir, BENCH_RESULTS)
         print()
         print(body)
         return result

@@ -2,10 +2,14 @@
 
 Subcommands:
 
-* ``list`` — show the experiment registry (DESIGN.md's E1..E14 index).
-* ``run E6 E11 ...`` — run experiments and print their reports.
+* ``list`` — show the experiment registry (DESIGN.md's E1..E16 index).
+* ``run E6 E11 ...`` — run experiments and print their reports
+  (``--json`` for machine-readable records).
 * ``check [E6 ...|--all]`` — run experiments under the shadow-MMU
   coherence sanitizer and report invariant violations.
+* ``trace E7 --out e7.trace.json`` — run one experiment under the flight
+  recorder and write a Chrome trace (open it in Perfetto).
+* ``profile E6 ...`` — run experiments and print where the cycles went.
 * ``table1`` / ``table2`` / ``table3`` — shortcuts for the paper's tables.
 * ``machines`` — show the modelled machines and their derived timings.
 """
@@ -20,9 +24,7 @@ from repro.params import ALL_MACHINES
 
 
 def _cmd_list(_args) -> int:
-    for experiment_id in sorted(
-        experiments.REGISTRY, key=experiments._experiment_sort_key
-    ):
+    for experiment_id in experiments.sorted_ids():
         runner = experiments.REGISTRY[experiment_id]
         doc = (runner.__doc__ or "").strip().splitlines()[0]
         print(f"  {experiment_id:<4} {doc}")
@@ -30,6 +32,8 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if getattr(args, "json", False):
+        return _cmd_run_json(args)
     failed = []
     for experiment_id in args.ids:
         key = experiment_id.upper()
@@ -51,24 +55,105 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_run_json(args) -> int:
+    from repro.obs import metrics
+    from repro.obs import session as obs_session
+
+    records = []
+    ok = True
+    for experiment_id in args.ids:
+        key = experiment_id.upper()
+        if key not in experiments.REGISTRY:
+            print(f"unknown experiment {experiment_id!r} "
+                  f"(try: python -m repro list)", file=sys.stderr)
+            return 2
+        observed = obs_session.run_observed(key)
+        records.append(observed.record())
+        ok = ok and observed.result.shape_holds
+    doc = records[0] if len(records) == 1 else records
+    print(metrics.dumps(doc), end="")
+    return 0 if ok else 1
+
+
 def _cmd_check(args) -> int:
     # Imported here, not at the top: the runner pulls in the experiment
     # registry, which is heavy and unneeded for the other subcommands.
     from repro.check import runner as check_runner
 
     ids = None if (args.all or not args.ids) else args.ids
+    progress = None if args.json else (
+        lambda key: print(f"checking {key} ...")
+    )
     try:
         run = check_runner.run_checked(
             ids=ids,
             sweep_every=args.sweep_every,
-            progress=lambda key: print(f"checking {key} ..."),
+            progress=progress,
         )
     except KeyError as exc:
         print(f"unknown experiment {exc.args[0]!r} "
               f"(try: python -m repro list)", file=sys.stderr)
         return 2
-    print(run.report())
+    if args.json:
+        from repro.obs import metrics
+
+        print(metrics.dumps(run.to_record()), end="")
+    else:
+        print(run.report())
     return 0 if run.ok else 1
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs import metrics
+    from repro.obs import session as obs_session
+
+    key = args.id.upper()
+    if key not in experiments.REGISTRY:
+        print(f"unknown experiment {args.id!r} "
+              f"(try: python -m repro list)", file=sys.stderr)
+        return 2
+    observed = obs_session.run_observed(
+        key, trace=True, sample_every_us=args.sample_us
+    )
+    doc = observed.chrome_trace()
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, sort_keys=True)
+        handle.write("\n")
+    events = len(doc["traceEvents"])
+    dropped = doc.get("otherData", {}).get("dropped_events", 0)
+    print(f"{key}: {events} trace events -> {args.out}"
+          + (f" ({dropped} dropped by the ring)" if dropped else ""))
+    if args.json:
+        print(metrics.dumps(observed.record()), end="")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs import metrics
+    from repro.obs import session as obs_session
+    from repro.obs.profiler import render_attribution
+
+    records = []
+    for experiment_id in args.ids:
+        key = experiment_id.upper()
+        if key not in experiments.REGISTRY:
+            print(f"unknown experiment {experiment_id!r} "
+                  f"(try: python -m repro list)", file=sys.stderr)
+            return 2
+        observed = obs_session.run_observed(key)
+        if args.json:
+            records.append(observed.record())
+            continue
+        title = (f"{key} — {observed.result.title} "
+                 f"[{', '.join(observed.machines())}]")
+        print(render_attribution(observed.attribution(), title))
+        print()
+    if args.json:
+        doc = records[0] if len(records) == 1 else records
+        print(metrics.dumps(doc), end="")
+    return 0
 
 
 def _cmd_machines(_args) -> int:
@@ -98,6 +183,10 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="list the experiment registry")
     run = sub.add_parser("run", help="run experiments by id (e.g. E6 E11)")
     run.add_argument("ids", nargs="+", metavar="EXPERIMENT")
+    run.add_argument(
+        "--json", action="store_true",
+        help="print machine-readable records instead of prose reports",
+    )
     chk = sub.add_parser(
         "check", help="run experiments under the shadow-MMU sanitizer"
     )
@@ -111,6 +200,35 @@ def main(argv=None) -> int:
         help="full invariant sweep every N checked translations "
              "(default 50000, 0 disables periodic sweeps)",
     )
+    chk.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable record instead of the prose report",
+    )
+    trc = sub.add_parser(
+        "trace", help="run one experiment under the flight recorder"
+    )
+    trc.add_argument("id", metavar="EXPERIMENT")
+    trc.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output Chrome trace path (default <id>.trace.json)",
+    )
+    trc.add_argument(
+        "--sample-us", type=float, default=1000.0, metavar="US",
+        help="time-series sample interval in simulated microseconds "
+             "(default 1000)",
+    )
+    trc.add_argument(
+        "--json", action="store_true",
+        help="also print the experiment's metrics record",
+    )
+    prf = sub.add_parser(
+        "profile", help="run experiments and print the cycle attribution"
+    )
+    prf.add_argument("ids", nargs="+", metavar="EXPERIMENT")
+    prf.add_argument(
+        "--json", action="store_true",
+        help="print machine-readable records instead of tables",
+    )
     sub.add_parser("table1", help="reproduce Table 1")
     sub.add_parser("table2", help="reproduce Table 2")
     sub.add_parser("table3", help="reproduce Table 3")
@@ -123,6 +241,12 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "trace":
+        if args.out is None:
+            args.out = f"{args.id.upper()}.trace.json"
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "machines":
         return _cmd_machines(args)
     shortcut = {"table1": "E5", "table2": "E6", "table3": "E11"}

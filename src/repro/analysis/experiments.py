@@ -1223,10 +1223,15 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
+def sorted_ids() -> List[str]:
+    """Registry IDs in numeric order (E1, E2, ..., E16)."""
+    return sorted(REGISTRY, key=_experiment_sort_key)
+
+
 def run_all(ids: Optional[List[str]] = None) -> List[ExperimentResult]:
     """Run every experiment (or a subset); returns their results."""
     results = []
-    for experiment_id in ids or sorted(REGISTRY, key=_experiment_sort_key):
+    for experiment_id in ids or sorted_ids():
         results.append(REGISTRY[experiment_id]())
     return results
 

@@ -76,6 +76,22 @@ class ViolationReporter:
     def counts_by_invariant(self, context: str) -> Dict[str, int]:
         return dict(self._counts.get(context, {}))
 
+    def to_record(self) -> Dict:
+        """Machine-readable form for ``repro check --json``."""
+        return {
+            "total": self.total,
+            "contexts": {
+                context: {
+                    "counts": self.counts_by_invariant(context),
+                    "recorded": [
+                        {"invariant": v.invariant, "detail": v.detail}
+                        for v in self.violations(context)
+                    ],
+                }
+                for context in self.contexts()
+            },
+        }
+
     # -- formatting -------------------------------------------------------------------
 
     def summary(self) -> str:

@@ -65,6 +65,28 @@ class CheckRun:
         lines.append(self.reporter.summary())
         return "\n".join(lines)
 
+    def to_record(self) -> dict:
+        """Machine-readable form for ``repro check --json``.
+
+        Wall-clock seconds are deliberately omitted so two identical
+        runs serialize identically (the JSON is meant to be diffed).
+        """
+        return {
+            "ok": self.ok,
+            "total_violations": self.total_violations,
+            "experiments": [
+                {
+                    "id": r.experiment,
+                    "shape_holds": r.shape_holds,
+                    "violations": r.violations,
+                    "machines": r.machines,
+                    "translations": r.translations,
+                }
+                for r in self.results
+            ],
+            "violations": self.reporter.to_record(),
+        }
+
 
 def run_checked(
     ids: Optional[Sequence[str]] = None,
@@ -79,7 +101,7 @@ def run_checked(
     always runs at the end of each experiment.
     """
     if ids is None:
-        ids = sorted(experiments.REGISTRY, key=experiments._experiment_sort_key)
+        ids = experiments.sorted_ids()
     reporter = enable_global_sanitizer(sweep_every=sweep_every)
     run = CheckRun(reporter)
     try:

@@ -249,14 +249,30 @@ class HashedPageTable:
     ) -> tuple:
         """Split valid entries into live vs zombie under a VSID predicate."""
         live = zombie = 0
+        for group_live, group_zombie in self.live_zombie_histogram(vsid_is_live):
+            live += group_live
+            zombie += group_zombie
+        return live, zombie
+
+    def live_zombie_histogram(
+        self, vsid_is_live: Callable[[int], bool]
+    ) -> List[tuple]:
+        """Per-bucket ``(live, zombie)`` counts under a VSID predicate.
+
+        Counter-free, like :meth:`peek` — the observability sampler reads
+        this every tick without perturbing the table's statistics.
+        """
+        histogram = []
         for group in self._table:
+            live = zombie = 0
             for pte in group:
                 if pte is not None and pte.valid:
                     if vsid_is_live(pte.vsid):
                         live += 1
                     else:
                         zombie += 1
-        return live, zombie
+            histogram.append((live, zombie))
+        return histogram
 
     def evict_ratio(self) -> float:
         """Evicts per reload — §7's headline metric (>90% before, 30% after)."""

@@ -119,6 +119,11 @@ class MachineModel:
         #: against ground truth; the kernel's flush/reclaim/preclear
         #: paths also consult it at their commit points.
         self.sanitizer = None
+        #: Opt-in flight-recorder event bus (``repro.obs``).  When set,
+        #: the translation paths and the kernel's commit points publish
+        #: structured events into it; emits are counter-free, so a
+        #: traced run is bit-identical to an untraced one.
+        self.tracer = None
 
     # -- configuration --------------------------------------------------------
 
@@ -209,6 +214,10 @@ class MachineModel:
             )
             tlb.insert(entry)
             self.clock.add(cycles, "tlb_reload")
+            if self.tracer is not None:
+                self.tracer.complete(
+                    "hw-walk", "mmu", cycles, {"ea": hex(ea)}
+                )
             pa = physical_address(entry.ppn, ea & (1 << PAGE_SHIFT) - 1)
             return TranslationResult(
                 pa=pa,

@@ -46,10 +46,15 @@ class HardwareMonitor:
 
     def __init__(self):
         self._counters: Counter = Counter()
+        #: Optional event tracer; when attached, every counted event is
+        #: republished on the trace bus (the tracer filters for itself).
+        self.tracer = None
 
     def count(self, event: str, amount: int = 1) -> None:
         """Increment a named event counter."""
         self._counters[event] += amount
+        if self.tracer is not None:
+            self.tracer.on_monitor_event(event, amount)
 
     def __getitem__(self, event: str) -> int:
         return self._counters.get(event, 0)

@@ -121,6 +121,7 @@ class MissHandlers:
                 pte.referenced = True
                 if write:
                     pte.changed = True
+                self._trace_refill(ea, "htab", cycles)
                 return RefillResult(
                     entry=self._tlb_entry(ea, vsid, page_index, pte.rpn,
                                           pte.pp != 0b11, pte.cache_inhibited),
@@ -129,11 +130,13 @@ class MissHandlers:
             machine.monitor.count("htab_miss")
 
         # The Linux PTE tree is the source of truth.
+        resolution = "tree"
         linux_pte, walk_cycles = self._charge_pte_tree_walk(mm, ea)
         cycles += walk_cycles
         if linux_pte is None or not linux_pte.present:
             linux_pte, fault_cycles = self.kernel.handle_page_fault(ea, write)
             cycles += fault_cycles
+            resolution = "fault"
         linux_pte.accessed = True
         if write:
             linux_pte.dirty = True
@@ -142,6 +145,7 @@ class MissHandlers:
         if self._uses_htab():
             cycles += self.kernel.reloader.install(vsid, page_index, linux_pte)
 
+        self._trace_refill(ea, resolution, cycles)
         return RefillResult(
             entry=self._tlb_entry(
                 ea,
@@ -153,6 +157,13 @@ class MissHandlers:
             ),
             cycles=cycles,
         )
+
+    def _trace_refill(self, ea: int, resolution: str, cycles: int) -> None:
+        if self.machine.tracer is not None:
+            self.machine.tracer.complete(
+                "sw-refill", "mmu", cycles,
+                {"ea": hex(ea), "resolution": resolution},
+            )
 
     def _uses_htab(self) -> bool:
         """604 hardware requires the hash table; the 603 only if configured."""

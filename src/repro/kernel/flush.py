@@ -66,6 +66,10 @@ class FlushEngine:
         machine.clock.add(cycles, "flush")
         if machine.sanitizer is not None:
             machine.sanitizer.after_page_flush(mm, ea, vsid)
+        if machine.tracer is not None:
+            machine.tracer.complete(
+                "flush-page", "flush", cycles, {"ea": hex(ea)}
+            )
         return cycles
 
     def _bump_context(self, mm) -> int:
@@ -92,6 +96,10 @@ class FlushEngine:
         self.machine.clock.add(cycles, "flush")
         if self.machine.sanitizer is not None:
             self.machine.sanitizer.after_context_bump(mm, old_vsids, new_vsids)
+        if self.machine.tracer is not None:
+            self.machine.tracer.complete(
+                "vsid-bump", "flush", cycles, {"lazy": True}
+            )
         return cycles
 
     # -- public API ------------------------------------------------------------------
@@ -125,6 +133,11 @@ class FlushEngine:
         cycles = 0
         for ea in range(start, end, PAGE_SIZE):
             cycles += self._search_flush_page(mm, ea)
+        if self.machine.tracer is not None:
+            self.machine.tracer.complete(
+                "flush-range", "flush", cycles,
+                {"pages": n_pages, "lazy": False},
+            )
         return cycles
 
     def flush_mm(self, mm) -> int:
@@ -133,8 +146,15 @@ class FlushEngine:
             return self._bump_context(mm)
         self.machine.monitor.count("flush_range_search")
         cycles = 0
+        pages = 0
         for ea, _pte in list(mm.page_table.mapped_pages()):
             cycles += self._search_flush_page(mm, ea)
+            pages += 1
+        if self.machine.tracer is not None:
+            self.machine.tracer.complete(
+                "flush-mm", "flush", cycles,
+                {"pages": pages, "lazy": False},
+            )
         return cycles
 
     def flush_everything(self) -> int:
@@ -154,4 +174,8 @@ class FlushEngine:
         self.kernel.post_global_flush()
         if machine.sanitizer is not None:
             machine.sanitizer.after_global_flush()
+        if machine.tracer is not None:
+            machine.tracer.complete(
+                "flush-everything", "flush", cycles, {"cleared": cleared}
+            )
         return cycles

@@ -117,6 +117,10 @@ class IdleTask:
         machine.clock.add(cycles, "idle_reclaim")
         self.reclaim_passes += 1
         self.zombies_reclaimed += reclaimed
+        if reclaimed and machine.tracer is not None:
+            machine.tracer.complete(
+                "reclaim-chunk", "idle", cycles, {"reclaimed": reclaimed}
+            )
         return reclaimed > 0
 
     # -- page clearing -------------------------------------------------------------------
@@ -140,6 +144,10 @@ class IdleTask:
         ) or self.config.idle_uncached
         palloc.clear_page(pfn, inhibited=inhibited, category="idle_clear")
         self.pages_cleared += 1
+        if self.machine.tracer is not None:
+            self.machine.tracer.instant(
+                "preclear-page", "idle", {"pfn": pfn}
+            )
         if policy is IdlePageClearPolicy.UNCACHED_NO_LIST:
             # The control experiment: the work is thrown away.
             palloc.return_uncleared(pfn)

@@ -280,6 +280,8 @@ class Kernel:
             cycles = entry_exit_cycles(self.config.optimized_entry)
         self.machine.clock.add(cycles, "syscall")
         self.machine.monitor.count("syscall")
+        if self.machine.tracer is not None:
+            self.machine.tracer.instant(f"syscall:{name}", "syscall")
         self.touch_kernel("entry")
         self.touch_kernel(name)
         body = SYSCALL_BODY_CYCLES.get(name)
@@ -349,6 +351,11 @@ class Kernel:
         mm.resident[base] = pfn
         self.machine.monitor.count("page_fault_minor")
         self.machine.clock.add(cycles, "fault")
+        if self.machine.tracer is not None:
+            self.machine.tracer.complete(
+                "page-fault", "vm", cycles,
+                {"ea": hex(ea), "write": write},
+            )
         return pte, cycles
 
     # -- user memory access -----------------------------------------------------------------
@@ -422,6 +429,10 @@ class Kernel:
         task.state = TaskState.RUNNING
         task.last_scheduled = machine.clock.total
         self.current_task = task
+        if machine.tracer is not None:
+            machine.tracer.instant(
+                "ctxsw", "sched", {"to": task.name, "pid": task.pid}
+            )
         return cycles
 
     # -- process lifecycle ----------------------------------------------------------------------
@@ -800,7 +811,13 @@ class Kernel:
     def run_idle(self, window_cycles: int) -> int:
         """Run the idle task for an I/O-wait window; returns consumed."""
         self.touch_kernel("idle")
-        return self.idle_task.run(window_cycles)
+        consumed = self.idle_task.run(window_cycles)
+        if self.machine.tracer is not None:
+            self.machine.tracer.complete(
+                "idle-window", "idle", consumed,
+                {"window": window_cycles},
+            )
+        return consumed
 
     # -- diagnostics ---------------------------------------------------------------------------------
 

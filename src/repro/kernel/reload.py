@@ -94,4 +94,9 @@ class HtabReloader:
         self.scavenge_bursts += 1
         machine.monitor.count("scavenge_burst")
         machine.clock.add(cycles, "scavenge")
+        if machine.tracer is not None:
+            machine.tracer.complete(
+                "scavenge-burst", "mmu", cycles,
+                {"slots": SCAVENGE_SLOTS},
+            )
         return cycles

@@ -65,6 +65,12 @@ class Scheduler:
         task.state = TaskState.SLEEPING
         self._timer_seq += 1
         heapq.heappush(self._timers, (wakeup_cycle, self._timer_seq, task))
+        tracer = self.kernel.machine.tracer
+        if tracer is not None:
+            tracer.instant(
+                "sleep", "sched",
+                {"pid": task.pid, "until_cycle": wakeup_cycle},
+            )
 
     def next_wakeup(self) -> Optional[int]:
         while self._timers and self._timers[0][2].state is TaskState.EXITED:
@@ -81,6 +87,10 @@ class Scheduler:
             if task.state is TaskState.SLEEPING:
                 self.enqueue(task)
                 woken.append(task)
+        tracer = self.kernel.machine.tracer
+        if tracer is not None:
+            for task in woken:
+                tracer.instant("wakeup", "sched", {"pid": task.pid})
         return woken
 
     def has_timers(self) -> bool:

@@ -116,6 +116,9 @@ class PipeTable:
         pipe = Pipe(ident=self._next_ident, buffer_pfn=pfn)
         self._next_ident += 1
         self._pipes[pipe.ident] = pipe
+        tracer = self.kernel.machine.tracer
+        if tracer is not None:
+            tracer.instant("pipe-create", "ipc", {"pipe": pipe.ident})
         return pipe
 
     def get(self, ident: int) -> Pipe:
@@ -128,3 +131,6 @@ class PipeTable:
         pipe = self._pipes.pop(ident, None)
         if pipe is not None:
             self.kernel.palloc.free_page(pipe.buffer_pfn)
+            tracer = self.kernel.machine.tracer
+            if tracer is not None:
+                tracer.instant("pipe-close", "ipc", {"pipe": ident})

@@ -1,0 +1,115 @@
+"""Time-series sampling — layer 3 of the MMU flight recorder.
+
+§7's headline curves are *trajectories*, not endpoints: hash-table
+occupancy growing from 600–700 to 1400–2200 live entries, the evict
+ratio collapsing from >90% to ~30%.  The repro previously exposed only
+endpoint deltas; this sampler snapshots the monitor counters and the
+hash table's occupancy/zombie state every N simulated microseconds, so
+those curves become first-class, plottable artifacts.
+
+Sampling rides the cycle ledger's observer hook: whenever charged
+cycles cross the next sample boundary, a snapshot is taken.  Every read
+is counter-free (``snapshot``, ``live_zombie_histogram``), so sampled
+runs stay bit-identical to unsampled ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Monitor counters republished as Chrome counter tracks (so Perfetto
+#: plots them as curves next to the occupancy track).
+CURVE_COUNTERS = (
+    "itlb_miss",
+    "dtlb_miss",
+    "htab_reload",
+    "htab_evict",
+    "zombie_reclaimed",
+)
+
+
+class TimeSeriesSampler:
+    """Snapshots monitor + HTAB state on a fixed simulated-time grid."""
+
+    def __init__(self, kernel, every_us: float,
+                 tracer=None, max_samples: int = 100_000):
+        if every_us <= 0:
+            raise ValueError(f"sample interval must be positive: {every_us}")
+        self.kernel = kernel
+        self.machine = kernel.machine
+        self.tracer = tracer
+        self.every_us = every_us
+        self.every_cycles = max(
+            1, int(every_us * self.machine.spec.clock_mhz)
+        )
+        self.max_samples = max_samples
+        self.samples: List[Dict] = []
+        self._next = self.every_cycles
+
+    # -- the ledger observer -------------------------------------------------
+
+    def on_cycles(self, total: int) -> None:
+        """Called by the ledger after every charge; samples on boundaries."""
+        if total < self._next:
+            return
+        if len(self.samples) < self.max_samples:
+            self._sample(total)
+        # One sample per crossing, however large the charge was.
+        self._next = total - (total % self.every_cycles) + self.every_cycles
+
+    def _sample(self, total: int) -> None:
+        machine = self.machine
+        htab = machine.htab
+        histogram = htab.live_zombie_histogram(
+            self.kernel.vsid_allocator.is_live
+        )
+        live = sum(bucket[0] for bucket in histogram)
+        zombie = sum(bucket[1] for bucket in histogram)
+        valid = live + zombie
+        loads = [bucket[0] + bucket[1] for bucket in histogram]
+        hottest = max(loads) if loads else 0
+        counters = machine.monitor.snapshot()
+        sample = {
+            "cycle": total,
+            "us": round(machine.spec.cycles_to_us(total), 3),
+            "htab": {
+                "live": live,
+                "zombie": zombie,
+                "valid": valid,
+                "occupancy": round(valid / htab.slots, 6),
+                "hottest_bucket": hottest,
+            },
+            "counters": counters,
+        }
+        self.samples.append(sample)
+        if self.tracer is not None:
+            self.tracer.counter(
+                "htab", {"live": live, "zombie": zombie}
+            )
+            self.tracer.counter(
+                "occupancy", {"valid": valid}
+            )
+            curve = {
+                name: counters.get(name, 0) for name in CURVE_COUNTERS
+            }
+            self.tracer.counter("monitor", curve)
+
+    # -- export ----------------------------------------------------------------
+
+    def series(self, *path: str) -> List:
+        """One column of the time series, e.g. ``series("htab", "live")``."""
+        out = []
+        for sample in self.samples:
+            value: object = sample
+            for key in path:
+                value = value[key]  # type: ignore[index]
+            out.append(value)
+        return out
+
+    def to_records(self) -> List[Dict]:
+        return [dict(sample) for sample in self.samples]
+
+
+def attach_clock_observer(clock, sampler: Optional[TimeSeriesSampler]) -> None:
+    """Wire a sampler into a ledger (or clear the hook with ``None``)."""
+    clock.observer = None if sampler is None else sampler.on_cycles

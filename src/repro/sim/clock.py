@@ -18,6 +18,11 @@ class CycleLedger:
     def __init__(self):
         self.total = 0
         self._by_category: Counter = Counter()
+        #: Optional ``observer(total)`` callback invoked after every
+        #: charge.  The observability sampler rides this hook; observers
+        #: must be read-only (they see the ledger after the charge and
+        #: must not charge cycles themselves).
+        self.observer = None
 
     def add(self, cycles: int, category: str = "other") -> int:
         """Charge ``cycles`` to ``category``; returns the amount charged."""
@@ -25,6 +30,8 @@ class CycleLedger:
             raise ValueError(f"negative cycle charge: {cycles}")
         self.total += cycles
         self._by_category[category] += cycles
+        if self.observer is not None:
+            self.observer(self.total)
         return cycles
 
     def category(self, name: str) -> int:

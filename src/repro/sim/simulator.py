@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro import check
+from repro import check, obs
 from repro.hw.machine import MachineModel
 from repro.kernel.config import KernelConfig
 from repro.kernel.kernel import Kernel
@@ -28,6 +28,9 @@ class Simulator:
         ram_bytes: int = RAM_BYTES,
         htab_groups: int = HTAB_GROUPS,
         sanitize: bool = False,
+        trace: bool = False,
+        profile: bool = False,
+        sample_every_us: Optional[float] = None,
     ):
         self.spec = spec
         self.config = config if config is not None else KernelConfig.unoptimized()
@@ -42,6 +45,16 @@ class Simulator:
         self.sanitizer = None
         if sanitize or check.global_check_active():
             self.sanitizer = check.attach_sanitizer(self.kernel)
+        self.obs = None
+        if trace or profile or sample_every_us is not None:
+            self.obs = obs.attach_observability(
+                self.kernel,
+                trace=trace,
+                profile=profile,
+                sample_every_us=sample_every_us,
+            )
+        elif obs.global_obs_active():
+            self.obs = obs.attach_observability(self.kernel)
 
     # -- measurement ------------------------------------------------------------
 
