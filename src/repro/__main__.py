@@ -10,6 +10,8 @@ Subcommands:
 * ``trace E7 --out e7.trace.json`` — run one experiment under the flight
   recorder and write a Chrome trace (open it in Perfetto).
 * ``profile E6 ...`` — run experiments and print where the cycles went.
+* ``lint [paths...]`` — run the domain-aware static analysis over the
+  package (``--list-rules`` for the rule catalog).
 * ``table1`` / ``table2`` / ``table3`` — shortcuts for the paper's tables.
 * ``machines`` — show the modelled machines and their derived timings.
 """
@@ -156,6 +158,14 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    # Imported here, not at the top: the lint engine is pure tooling and
+    # unneeded for the simulation subcommands.
+    from repro.lint import cli as lint_cli
+
+    return lint_cli.run_lint(args)
+
+
 def _cmd_machines(_args) -> int:
     print(f"{'machine':<14}{'walk':<10}{'TLB (I/D)':<12}{'L1 (I/D)':<12}"
           f"{'L2':<8}{'line fill':<12}{'word'}")
@@ -229,6 +239,40 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="print machine-readable records instead of tables",
     )
+    lnt = sub.add_parser(
+        "lint", help="run the domain-aware static analysis"
+    )
+    lnt.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="restrict reported findings to these files/subtrees "
+             "(relative to the cwd or the package root)",
+    )
+    lnt.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lnt.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable findings record",
+    )
+    lnt.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="package directory to scan (default: the installed repro "
+             "package)",
+    )
+    lnt.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file (default: lint-baseline.json at the repo "
+             "root)",
+    )
+    lnt.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the committed baseline (report everything)",
+    )
+    lnt.add_argument(
+        "--write-baseline", action="store_true",
+        help="snapshot current findings into the baseline file",
+    )
     sub.add_parser("table1", help="reproduce Table 1")
     sub.add_parser("table2", help="reproduce Table 2")
     sub.add_parser("table3", help="reproduce Table 3")
@@ -247,6 +291,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "machines":
         return _cmd_machines(args)
     shortcut = {"table1": "E5", "table2": "E6", "table3": "E11"}

@@ -100,6 +100,8 @@ def attach_sanitizer(
         sweep_every=sweep_every or 0,
         label=label,
     )
+    # repro-lint: disable=zero-perturbation -- the sanctioned attach point:
+    # installs the sanitizer on the machine's dedicated observer slot.
     kernel.machine.sanitizer = sanitizer
     if _GLOBAL.active:
         _GLOBAL.sanitizers.append(sanitizer)

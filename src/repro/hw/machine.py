@@ -27,6 +27,7 @@ from repro.hw.monitor import HardwareMonitor
 from repro.hw.segment import SegmentRegisterFile
 from repro.hw.tlb import Tlb, TlbEntry
 from repro.hw.walker import HardwareWalker, PTE_BYTES
+from repro.hw.clock import CycleLedger
 from repro.params import (
     C603_MISS_INVOKE_CYCLES,
     C604_HASH_MISS_INVOKE_CYCLES,
@@ -35,7 +36,6 @@ from repro.params import (
     PAGE_SHIFT,
     RAM_BYTES,
 )
-from repro.sim.clock import CycleLedger
 
 
 @dataclass

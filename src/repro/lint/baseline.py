@@ -1,0 +1,69 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry matches findings by (rule, path, message) — no line
+numbers, so unrelated edits do not invalidate it.  The workflow:
+
+* ``repro lint --write-baseline`` snapshots today's findings;
+* subsequent runs report baselined findings as suppressed and exit 0;
+* fixing a finding makes its entry *stale*; ``--write-baseline`` again
+  to shrink the file.  The goal state is an empty list.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+from repro.lint.findings import Finding
+
+#: Default baseline filename, looked up at the repo root.
+BASELINE_NAME = "lint-baseline.json"
+
+_Fingerprint = Tuple[str, str, str]
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[_Fingerprint] = ()):
+        self.fingerprints: Set[_Fingerprint] = set(fingerprints)
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def matches(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.fingerprints
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        doc = json.loads(path.read_text())
+        entries = doc.get("findings", []) if isinstance(doc, dict) else doc
+        fingerprints = []
+        for entry in entries:
+            fingerprints.append(
+                (str(entry["rule"]), str(entry["path"]),
+                 str(entry["message"]))
+            )
+        return cls(fingerprints)
+
+    @staticmethod
+    def write(path: Path, findings: List[Finding]) -> None:
+        """Snapshot ``findings`` as the new baseline."""
+        entries = sorted(
+            {finding.fingerprint() for finding in findings}
+        )
+        doc = {
+            "comment": (
+                "Grandfathered repro-lint findings. Fix them and "
+                "regenerate with: python -m repro lint --write-baseline"
+            ),
+            "findings": [
+                {"rule": rule, "path": rel_path, "message": message}
+                for rule, rel_path, message in entries
+            ],
+        }
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,121 @@
+"""``python -m repro lint`` — the CLI front end of the lint engine.
+
+Exit codes: 0 clean (baselined findings do not fail the run), 1 active
+findings, 2 usage error (unknown path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import BASELINE_NAME, Baseline
+from repro.lint.engine import LintEngine, rule_catalog
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def find_baseline(root: Path) -> Path:
+    """Locate the committed baseline for a package at ``root``.
+
+    Walks up from the package directory looking for an existing
+    baseline file, else for a repo marker (``pyproject.toml`` or
+    ``.git``) naming where a new one should be written.  Falls back to
+    the package's parent directory.
+    """
+    for candidate in [root] + list(root.parents):
+        if (candidate / BASELINE_NAME).exists():
+            return candidate / BASELINE_NAME
+    for candidate in [root] + list(root.parents):
+        if (candidate / "pyproject.toml").exists() or (
+            candidate / ".git"
+        ).exists():
+            return candidate / BASELINE_NAME
+    return root.parent / BASELINE_NAME
+
+
+def _resolve_paths(
+    root: Path, raw_paths: Sequence[str]
+) -> Optional[List[Path]]:
+    """Map CLI path arguments onto the scanned tree (None on error)."""
+    resolved: List[Path] = []
+    for raw in raw_paths:
+        candidate = Path(raw)
+        if candidate.exists():
+            resolved.append(candidate.resolve())
+            continue
+        inside = root / raw
+        if inside.exists():
+            resolved.append(inside.resolve())
+            continue
+        print(f"repro lint: no such path: {raw}", file=sys.stderr)
+        return None
+    return resolved
+
+
+def list_rules() -> int:
+    for entry in rule_catalog():
+        print(f"  {entry['id']:<24} {entry['description']}")
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Entry point for the ``lint`` subcommand (parsed namespace)."""
+    if args.list_rules:
+        return list_rules()
+
+    root = default_root() if args.root is None else Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"repro lint: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    paths = _resolve_paths(root, args.paths)
+    if paths is None:
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline is not None
+        else find_baseline(root)
+    )
+    baseline = (
+        Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    )
+
+    engine = LintEngine(root, baseline=baseline)
+    result = engine.run(paths=paths)
+
+    if args.write_baseline:
+        Baseline.write(baseline_path, result.findings + result.baselined)
+        print(
+            f"wrote {len(result.findings) + len(result.baselined)} "
+            f"finding(s) to {baseline_path}"
+        )
+        return 0
+
+    if args.json:
+        record = result.to_record()
+        record["root"] = str(root)
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+
+    prefix = f"{root}/"
+    for finding in result.findings:
+        print(finding.render(prefix=prefix))
+    summary = (
+        f"{result.files_scanned} files scanned, "
+        f"{len(result.findings)} finding(s)"
+    )
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    if result.pragma_suppressed:
+        summary += f", {result.pragma_suppressed} pragma-suppressed"
+    print(summary)
+    return 0 if result.ok else 1

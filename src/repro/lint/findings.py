@@ -1,0 +1,51 @@
+"""Finding records produced by the lint engine.
+
+A finding pins one rule violation to a ``file:line`` location.  The
+``fingerprint`` (rule, path, message — deliberately *not* the line
+number) is what the baseline file stores, so grandfathered findings
+survive unrelated edits that shift lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    #: Rule identifier, e.g. ``layering``.
+    rule: str
+    #: Path relative to the scanned package root, posix-style
+    #: (e.g. ``hw/machine.py``).
+    path: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    col: int
+    #: Human-readable description of the violation.
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+    def to_record(self) -> Dict[str, object]:
+        """Machine-readable form for ``repro lint --json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self, prefix: str = "") -> str:
+        """One ``file:line:col: [rule] message`` diagnostic line."""
+        location = f"{prefix}{self.path}" if prefix else self.path
+        return f"{location}:{self.line}:{self.col}: [{self.rule}] {self.message}"

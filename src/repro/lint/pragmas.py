@@ -1,0 +1,107 @@
+"""Inline suppression pragmas.
+
+Two forms, both requiring a one-line justification after ``--``::
+
+    x.y = z  # repro-lint: disable=zero-perturbation -- recorder attach point
+    # repro-lint: disable-file=layering -- bootstrap shim, see DESIGN.md
+
+``disable=`` suppresses matching findings on its own line; when it
+stands on a comment-only line, it applies to the next code line (so a
+justification can grow into a comment block above the statement).
+``disable-file=`` (at any indentation) suppresses them for the whole
+file.  ``disable=all`` suppresses every rule.  A pragma without a
+justification, or naming an unknown rule, is itself reported under the
+``pragma-hygiene`` pseudo-rule.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+#: The pseudo-rule id pragma problems are reported under.
+PRAGMA_RULE = "pragma-hygiene"
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\- ]+?)\s*"
+    r"(?:--\s*(?P<why>\S.*))?$"
+)
+
+
+@dataclass
+class FilePragmas:
+    """Suppressions parsed from one file's source."""
+
+    #: line -> rule ids disabled on that line.
+    line_disables: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule ids disabled for the whole file.
+    file_disables: Set[str] = field(default_factory=set)
+    #: (line, message) pragma-hygiene problems.
+    problems: List[Tuple[int, str]] = field(default_factory=list)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        disabled = self.file_disables | self.line_disables.get(line, set())
+        return rule in disabled or "all" in disabled
+
+
+def _comment_tokens(lines: Sequence[str]) -> Iterator[Tuple[int, str]]:
+    """``(lineno, text)`` for every comment token in the source.
+
+    Tokenizing (rather than scanning raw lines) keeps docstrings and
+    string literals that merely *mention* the pragma syntax — like this
+    module — from being parsed as pragmas.
+    """
+    text = "\n".join(lines) + "\n"
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The engine reports unparseable files separately.
+        return
+
+
+def parse_pragmas(lines: Sequence[str], known_rules: Set[str]) -> FilePragmas:
+    """Scan a file's comments for ``repro-lint`` pragmas."""
+    out = FilePragmas()
+    for lineno, text in _comment_tokens(lines):
+        match = _PRAGMA.search(text)
+        if match is None:
+            if "repro-lint:" in text:
+                out.problems.append(
+                    (lineno, "unparseable repro-lint pragma")
+                )
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",")}
+        rules.discard("")
+        unknown = sorted(rules - known_rules - {"all"})
+        for rule in unknown:
+            out.problems.append(
+                (lineno, f"pragma names unknown rule {rule!r}")
+            )
+        if match.group("why") is None:
+            out.problems.append(
+                (lineno,
+                 "pragma without justification (append ' -- <reason>')")
+            )
+        rules -= set(unknown)
+        if not rules:
+            continue
+        if match.group("kind") == "disable-file":
+            out.file_disables |= rules
+        else:
+            target = lineno
+            source_line = lines[lineno - 1] if lineno <= len(lines) else ""
+            if source_line.lstrip().startswith("#"):
+                # Comment-only pragma line: scope it to the next code line.
+                for offset in range(lineno, len(lines)):
+                    candidate = lines[offset].strip()
+                    if candidate and not candidate.startswith("#"):
+                        target = offset + 1
+                        break
+            out.line_disables.setdefault(target, set()).update(rules)
+    return out

@@ -24,6 +24,66 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, List, Optional
 
+#: The closed registry of every event name this repo may publish —
+#: tracer spans/instants/counter tracks and hardware-monitor counters.
+#: ``repro lint``'s event-registry closure pass statically checks that
+#: every ``tracer.instant/complete/counter`` and ``monitor.count``
+#: callsite uses a name listed here (entries ending in ``*`` match by
+#: prefix, for names carrying a dynamic suffix).  Keep this a literal
+#: dict: the lint pass reads it from the AST, not at runtime.
+EVENT_NAMES: Dict[str, str] = {
+    # -- tracer spans (Chrome "X" events) -------------------------------
+    "hw-walk": "604 hardware hash walk resolved a TLB miss",
+    "sw-refill": "software TLB refill through the Linux page tables",
+    "scavenge-burst": "on-miss zombie scavenge burst over the hash table",
+    "flush-page": "single-page invalidate (hash search + tlbie)",
+    "flush-range": "range invalidate by per-page hash search",
+    "flush-mm": "whole-address-space invalidate by hash search",
+    "flush-everything": "global invalidate (counter wrap / reset)",
+    "vsid-bump": "lazy context invalidate by VSID bump (section 7)",
+    "reclaim-chunk": "idle-task zombie reclaim over one hash-table chunk",
+    "idle-window": "one scheduling of the idle task",
+    "page-fault": "demand fault handled (major or minor)",
+    # -- tracer instants (Chrome "i" events) ----------------------------
+    "syscall:*": "syscall entry, suffixed with the syscall name",
+    "ctxsw": "context switch committed to a task",
+    "wakeup": "sleeping task woken",
+    "sleep": "task put to sleep until a simulated deadline",
+    "pipe-create": "pipe created",
+    "pipe-close": "pipe endpoint closed",
+    "preclear-page": "idle task pre-cleared one free page (section 9)",
+    # -- tracer counter tracks (Chrome "C" events) ----------------------
+    "htab": "hash-table live/zombie occupancy curve",
+    "occupancy": "hash-table valid-entry curve",
+    "monitor": "selected hardware-monitor counter curves",
+    # -- hardware-monitor counters (republished as instants when the
+    # -- tracer's monitor filter selects them) --------------------------
+    "itlb_miss": "instruction TLB miss",
+    "dtlb_miss": "data TLB miss",
+    "tlb_miss": "TLB miss (either side)",
+    "htab_search": "hash-table search started",
+    "htab_hit": "hash-table search found the PTE",
+    "htab_miss": "hash-table search missed",
+    "htab_reload": "PTE installed into the hash table",
+    "htab_evict": "valid PTE evicted to make room",
+    "hash_miss_interrupt": "604 hash-miss trap to the kernel",
+    "sw_tlb_miss_interrupt": "603 software TLB-miss trap",
+    "bat_translation": "access translated by a BAT register",
+    "icache_miss": "instruction-cache miss",
+    "dcache_miss": "data-cache miss",
+    "page_fault_major": "major page fault (backing store)",
+    "page_fault_minor": "minor page fault (mapping only)",
+    "flush_range_search": "flush took the per-page search path",
+    "flush_range_lazy": "flush took the lazy VSID-bump path",
+    "vsid_bump": "context moved onto fresh VSIDs",
+    "zombie_reclaimed": "zombie PTE invalidated (idle task or scavenge)",
+    "pages_precleared": "free page pre-cleared onto the section-9 list",
+    "precleared_page_used": "get_free_page served a pre-cleared page",
+    "scavenge_burst": "on-miss scavenge burst ran",
+    "context_switch": "context switch",
+    "syscall": "syscall entered",
+}
+
 #: Monitor events republished as trace instants by default.  The cache
 #: miss counters are excluded — they fire per cache *line* touched and
 #: would drown every other event (they are still visible as counters in

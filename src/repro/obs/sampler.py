@@ -112,4 +112,6 @@ class TimeSeriesSampler:
 
 def attach_clock_observer(clock, sampler: Optional[TimeSeriesSampler]) -> None:
     """Wire a sampler into a ledger (or clear the hook with ``None``)."""
+    # repro-lint: disable=zero-perturbation -- sanctioned attach point for
+    # the ledger's read-only observer slot.
     clock.observer = None if sampler is None else sampler.on_cycles

@@ -1,8 +1,8 @@
 """Simulation engine: cycle ledger, traces, processes, and the simulator.
 
-``Executive``, ``Simulator`` and ``boot`` are provided lazily: the
-machine model imports :mod:`repro.sim.clock`, so importing them eagerly
-here would create an import cycle.
+``Executive``, ``Simulator`` and ``boot`` are provided lazily: they
+pull in the experiment-facing machinery, which is heavy and unneeded
+for callers that only want the ledger or a trace.
 """
 
 from repro.sim.clock import CycleLedger
