@@ -1,30 +1,39 @@
 """Shared helpers for the benchmark suite.
 
-Every benchmark runs one experiment from
-:mod:`repro.analysis.experiments` exactly once (``benchmark.pedantic``
-with one round — the experiments are deterministic simulations, so
-statistical repetition only wastes time), asserts the paper's
-qualitative shape, and archives the human-readable report under
-``benchmarks/reports/`` for EXPERIMENTS.md.
+Every benchmark executes one spec from :mod:`repro.analysis.specs`
+through the engine exactly once (``benchmark.pedantic`` with one round
+— the experiments are deterministic simulations, so statistical
+repetition only wastes time), asserts the paper's qualitative shape,
+and archives the human-readable report under ``benchmarks/reports/``
+for EXPERIMENTS.md.
 
 Each run also happens under the flight recorder's cycle profiler (zero
 perturbation, see ``repro.obs``), so ``record_report`` can write a
 machine-readable ``reports/<id>.json`` record next to the text report
-and keep the repo-root ``BENCH_results.json`` aggregate current.
+and keep the repo-root ``BENCH_results.json`` aggregate current.  The
+result cache is deliberately not consulted: a benchmark that returned
+a cached result would time nothing and observe nothing.
 """
 
 from __future__ import annotations
 
 import pathlib
+import time
+from typing import Dict
 
 import pytest
 
 from repro import obs
+from repro.analysis import engine, specs
 from repro.obs import metrics
 
 REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 BENCH_RESULTS = REPO_ROOT / "BENCH_results.json"
+
+#: Wall seconds per experiment, accumulated across the session and
+#: written into BENCH_results.json's (nondeterministic) timings section.
+_TIMINGS: Dict[str, float] = {}
 
 
 @pytest.fixture(scope="session")
@@ -57,7 +66,9 @@ def record_report(report_dir):
         observed = obs.drain_global_observed()
         record = metrics.experiment_record(result, observed)
         metrics.write_experiment_record(record, report_dir)
-        metrics.write_bench_results(report_dir, BENCH_RESULTS)
+        metrics.write_bench_results(
+            report_dir, BENCH_RESULTS, timings=dict(_TIMINGS)
+        )
         print()
         print(body)
         return result
@@ -65,6 +76,12 @@ def record_report(report_dir):
     return _record
 
 
-def run_once(benchmark, fn, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+def run_spec(benchmark, experiment_id: str):
+    """Execute one spec through the engine under pytest-benchmark."""
+    spec = specs.SPECS[experiment_id]
+    start = time.monotonic()
+    result = benchmark.pedantic(
+        engine.execute, args=(spec,), rounds=1, iterations=1
+    )
+    _TIMINGS[experiment_id] = time.monotonic() - start
+    return result

@@ -4,13 +4,11 @@ Paper: TLB misses 219M -> 197M (-10%), hash misses 1M -> 813k (-20%),
 kernel TLB slots ~1/3 of the TLB -> at most 4, compile 10 -> 8 minutes.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_bat_kernel_mapping(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e2)
+    result = run_spec(benchmark, "E2")
     record_report(result)
     assert result.shape_holds
     # The TLB-miss reduction is in the paper's band (we allow down to

@@ -4,13 +4,11 @@ Paper: context switch -33%, communication latencies -15%, user
 wall-clock -15%.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_fast_reload_handlers(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e4)
+    result = run_spec(benchmark, "E4")
     record_report(result)
     assert result.shape_holds
     assert result.measured["ctxsw_ratio"] < 0.8

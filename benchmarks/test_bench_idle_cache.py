@@ -6,13 +6,11 @@ task".  The ablation compares the cached-clearing idle task with and
 without ``idle_uncached``.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_uncached_idle_task_ablation(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e14)
+    result = run_spec(benchmark, "E14")
     record_report(result)
     assert result.shape_holds
     assert result.measured["busy_ratio"] < 1.0

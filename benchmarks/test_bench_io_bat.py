@@ -4,13 +4,11 @@ Paper: "Using the BAT registers to map the I/O space did not improve
 these measures significantly" — I/O TLB entries are too rarely live.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_io_bat_no_significant_gain(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e12)
+    result = run_spec(benchmark, "E12")
     record_report(result)
     assert result.shape_holds
     assert 0.95 < result.measured["cycle_ratio"] < 1.02

@@ -5,13 +5,11 @@ cache-inhibited without keeping the pages changed nothing; clearing
 cache-inhibited onto the pre-cleared list made the system "much faster".
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_idle_page_clearing(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e10)
+    result = run_spec(benchmark, "E10")
     record_report(result)
     assert result.shape_holds
     # Cached clearing hurts (direction of the paper's 2x).

@@ -6,13 +6,11 @@ measures a cache-cold context switch with and without dcbt-style
 preloads of the switch path's data.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_cache_preload_ablation(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e15)
+    result = run_spec(benchmark, "E15")
     record_report(result)
     assert result.shape_holds
     assert result.measured["ctxsw8_ratio"] < 0.99

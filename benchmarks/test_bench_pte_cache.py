@@ -5,13 +5,11 @@ create up to 18 new cache entries; uncaching the page tables removes
 that pollution.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_page_table_cache_pollution(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e9)
+    result = run_spec(benchmark, "E9")
     record_report(result)
     assert result.shape_holds
     assert 30 <= result.measured["worst_case_refs"] <= 36

@@ -4,13 +4,11 @@ Paper: with a 20-page cutoff, mmap latency improves ~80x "at no cost to
 the TLB hit rate".
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_range_flush_cutoff_sweep(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e8)
+    result = run_spec(benchmark, "E8")
     record_report(result)
     assert result.shape_holds
     assert result.measured["improvement"] > 40

@@ -8,13 +8,11 @@ the means are similar, but the on-demand design's worst case spikes by
 an order of magnitude.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_on_demand_scavenge_is_inconsistent(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e16)
+    result = run_spec(benchmark, "E16")
     record_report(result)
     assert result.shape_holds
     assert result.measured["demand_worst"] > 3 * result.measured["idle_worst"]

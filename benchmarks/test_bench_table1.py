@@ -5,13 +5,11 @@ with the 185/200MHz 604s despite half the TLB and cache; the compile
 improves ~5% over the htab-emulation 603.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_table1_lmbench_summary(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e5)
+    result = run_spec(benchmark, "E5")
     record_report(result)
     assert result.shape_holds
     rows = result.measured
@@ -23,7 +21,7 @@ def test_table1_lmbench_summary(benchmark, record_report):
 
 
 def test_no_htab_compile(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e13)
+    result = run_spec(benchmark, "E13")
     record_report(result)
     assert result.shape_holds
     # Removing the hash table must help, in the paper's ~5% band

@@ -4,13 +4,11 @@ Paper: mmap latency 3240 -> 41 us on the 603@133 and 2733 -> 33 us on
 the 604@185 (~80x), with pipe bandwidth and latencies also improving.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_table2_lazy_flushing(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e6)
+    result = run_spec(benchmark, "E6")
     record_report(result)
     assert result.shape_holds
     # The ~80x mmap improvements (we require at least 40x).

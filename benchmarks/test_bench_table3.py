@@ -5,13 +5,11 @@ Paper (133MHz 604): optimized Linux/PPC wins every point — null syscall
 89-235, pipe bandwidth 52 MB/s vs 9-36.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_table3_os_comparison(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e11)
+    result = run_spec(benchmark, "E11")
     record_report(result)
     assert result.shape_holds
     rows = result.measured

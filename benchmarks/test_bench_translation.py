@@ -1,12 +1,10 @@
 """E1 — Figure 1: the PowerPC hash-table translation datapath."""
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_figure1_translation_datapath(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e1)
+    result = run_spec(benchmark, "E1")
     record_report(result)
     assert result.shape_holds
     assert result.measured["va_bits"] <= 52

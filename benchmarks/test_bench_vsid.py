@@ -4,13 +4,11 @@ Paper: 37% use with the naive VSIDs, 57% with the tuned non-power-of-two
 constant, 75% after removing kernel PTEs from the table.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_vsid_scatter_occupancy(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e3)
+    result = run_spec(benchmark, "E3")
     record_report(result)
     assert result.shape_holds
     values = list(result.measured.values())

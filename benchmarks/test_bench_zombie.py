@@ -5,13 +5,11 @@ evict-to-reload ratio exceeds 90%; with the idle-task reclaim it falls
 to ~30%, live usage grows, and the hash hit rate reaches 98%.
 """
 
-from conftest import run_once
-
-from repro.analysis import experiments
+from conftest import run_spec
 
 
 def test_idle_zombie_reclaim(benchmark, record_report):
-    result = run_once(benchmark, experiments.run_e7)
+    result = run_spec(benchmark, "E7")
     record_report(result)
     assert result.shape_holds
     # The table really fills without reclaim ("very quickly the entire

@@ -4,7 +4,12 @@ Subcommands:
 
 * ``list`` — show the experiment registry (DESIGN.md's E1..E16 index).
 * ``run E6 E11 ...`` — run experiments and print their reports
-  (``--json`` for machine-readable records).
+  (``--json`` for machine-readable records).  ``--all`` runs the whole
+  registry, ``--jobs N`` fans it out across processes (output is
+  byte-identical to serial), ``--no-cache``/``--rerun`` control the
+  on-disk result cache, ``--matrix NAME`` runs a config-matrix sweep,
+  and ``--bench-out FILE`` writes a BENCH_results.json-style artifact
+  with per-experiment wall times.
 * ``check [E6 ...|--all]`` — run experiments under the shadow-MMU
   coherence sanitizer and report invariant violations.
 * ``trace E7 --out e7.trace.json`` — run one experiment under the flight
@@ -20,55 +25,115 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Optional
 
-from repro.analysis import experiments
+from repro.analysis import specs
 from repro.params import ALL_MACHINES
 
 
 def _cmd_list(_args) -> int:
-    for experiment_id in experiments.sorted_ids():
-        runner = experiments.REGISTRY[experiment_id]
-        doc = (runner.__doc__ or "").strip().splitlines()[0]
+    for experiment_id in specs.sorted_ids():
+        workload = specs.SPECS[experiment_id].workload
+        doc = (workload.__doc__ or "").strip().splitlines()[0]
         print(f"  {experiment_id:<4} {doc}")
+    print()
+    print("config-matrix sweeps (run --matrix NAME):")
+    for matrix in specs.MATRICES.values():
+        print(f"  {matrix.id:<14} {matrix.title}")
     return 0
 
 
-def _cmd_run(args) -> int:
-    if getattr(args, "json", False):
-        return _cmd_run_json(args)
-    failed = []
+def _resolve_ids(args) -> "Optional[list]":
+    """Upper-cased, validated experiment ids; None on a bad id."""
+    if getattr(args, "all", False):
+        return specs.sorted_ids()
+    ids = []
     for experiment_id in args.ids:
         key = experiment_id.upper()
-        if key not in experiments.REGISTRY:
+        if key not in specs.SPECS:
             print(f"unknown experiment {experiment_id!r} "
                   f"(try: python -m repro list)", file=sys.stderr)
-            return 2
-        result = experiments.REGISTRY[key]()
+            return None
+        ids.append(key)
+    return ids
+
+
+def _cmd_run(args) -> int:
+    if args.matrix:
+        return _cmd_run_matrix(args)
+    ids = _resolve_ids(args)
+    if ids is None:
+        return 2
+    if not ids:
+        print("no experiments given (pass ids, --all, or --matrix NAME)",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        return _cmd_run_json(args, ids)
+    from repro.analysis import engine
+
+    progress = None
+    if args.jobs > 1:
+        # Progress goes to stderr so stdout stays byte-identical to a
+        # serial run (reports print in registry order after the merge).
+        progress = lambda key, hit: print(
+            f"  {key} {'cached' if hit else 'done'}", file=sys.stderr
+        )
+    run = engine.run_ids(
+        ids,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        rerun=args.rerun,
+        progress=progress,
+    )
+    for result in run.results:
         print(result.report)
         if result.notes:
             print(f"  notes: {result.notes}")
         print(f"  shape_holds: {result.shape_holds}")
         print()
-        if not result.shape_holds:
-            failed.append(key)
-    if failed:
-        print(f"paper shape did NOT hold for: {', '.join(failed)}")
+    if args.bench_out:
+        _write_bench_artifact(args.bench_out, run)
+    if not run.ok:
+        print(f"paper shape did NOT hold for: {', '.join(run.failed_ids())}")
         return 1
     return 0
 
 
-def _cmd_run_json(args) -> int:
+def _write_bench_artifact(out_path, run) -> None:
+    from repro.analysis import engine
+    from repro.obs import metrics
+
+    doc = metrics.bench_doc(
+        [engine.result_record(result) for result in run.results],
+        source="python -m repro run --bench-out",
+        timings=run.timings,
+    )
+    with open(out_path, "w") as handle:
+        handle.write(metrics.dumps(doc))
+    print(f"bench artifact -> {out_path}", file=sys.stderr)
+
+
+def _cmd_run_matrix(args) -> int:
+    for name in args.matrix:
+        if name not in specs.MATRICES:
+            known = ", ".join(sorted(specs.MATRICES))
+            print(f"unknown matrix {name!r} (known: {known})",
+                  file=sys.stderr)
+            return 2
+    for name in args.matrix:
+        print(specs.MATRICES[name].run())
+        print()
+    return 0
+
+
+def _cmd_run_json(args, ids) -> int:
     from repro.obs import metrics
     from repro.obs import session as obs_session
 
     records = []
     ok = True
-    for experiment_id in args.ids:
-        key = experiment_id.upper()
-        if key not in experiments.REGISTRY:
-            print(f"unknown experiment {experiment_id!r} "
-                  f"(try: python -m repro list)", file=sys.stderr)
-            return 2
+    for key in ids:
         observed = obs_session.run_observed(key)
         records.append(observed.record())
         ok = ok and observed.result.shape_holds
@@ -112,7 +177,7 @@ def _cmd_trace(args) -> int:
     from repro.obs import session as obs_session
 
     key = args.id.upper()
-    if key not in experiments.REGISTRY:
+    if key not in specs.SPECS:
         print(f"unknown experiment {args.id!r} "
               f"(try: python -m repro list)", file=sys.stderr)
         return 2
@@ -140,7 +205,7 @@ def _cmd_profile(args) -> int:
     records = []
     for experiment_id in args.ids:
         key = experiment_id.upper()
-        if key not in experiments.REGISTRY:
+        if key not in specs.SPECS:
             print(f"unknown experiment {experiment_id!r} "
                   f"(try: python -m repro list)", file=sys.stderr)
             return 2
@@ -192,7 +257,34 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list the experiment registry")
     run = sub.add_parser("run", help="run experiments by id (e.g. E6 E11)")
-    run.add_argument("ids", nargs="+", metavar="EXPERIMENT")
+    run.add_argument("ids", nargs="*", metavar="EXPERIMENT")
+    run.add_argument(
+        "--all", action="store_true",
+        help="run the full registry in sorted order",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan experiments out across N worker processes "
+             "(default 1; output is byte-identical to serial)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (no reads, no writes)",
+    )
+    run.add_argument(
+        "--rerun", action="store_true",
+        help="force execution but refresh the cache with the results",
+    )
+    run.add_argument(
+        "--matrix", action="append", default=[], metavar="NAME",
+        help="run a config-matrix sweep instead of registry experiments "
+             "(vsid-scatter, flush-cutoff; repeatable)",
+    )
+    run.add_argument(
+        "--bench-out", default=None, metavar="FILE",
+        help="write a BENCH_results.json-style artifact with "
+             "per-experiment wall times",
+    )
     run.add_argument(
         "--json", action="store_true",
         help="print machine-readable records instead of prose reports",
@@ -296,7 +388,10 @@ def main(argv=None) -> int:
     if args.command == "machines":
         return _cmd_machines(args)
     shortcut = {"table1": "E5", "table2": "E6", "table3": "E11"}
-    return _cmd_run(argparse.Namespace(ids=[shortcut[args.command]]))
+    return _cmd_run(argparse.Namespace(
+        ids=[shortcut[args.command]], all=False, jobs=1, no_cache=False,
+        rerun=False, matrix=[], bench_out=None, json=False,
+    ))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,208 @@
+"""The experiment engine: one execution path for every spec.
+
+Every consumer of the registry — the CLI, the benchmark suite,
+``repro check``, the obs session — funnels through :func:`execute`:
+look the spec up, run its workload over its machine/config matrix,
+JSON-round-trip the measured numbers, apply the shape predicate, and
+return an :class:`ExperimentResult`.  The round-trip is deliberate:
+a freshly-computed result and one loaded from the on-disk cache are
+the *same value*, so callers never need to care which they got.
+
+:func:`run_ids` adds the scheduling: a multiprocessing fan-out
+(``--jobs N``) whose workers are deterministic (the experiments seed
+their own RNGs; no wall-clock feeds the measured numbers) and whose
+results merge back in the caller's id order — so parallel output is
+byte-identical to serial output.  Wall-clock timings are collected
+per experiment for the BENCH artifact but are explicitly outside the
+determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import specs
+from repro.analysis.cache import ResultCache, spec_fingerprint
+from repro.analysis.spec import ExperimentResult, ExperimentSpec
+from repro.obs.metrics import json_safe
+
+
+def spec_for(experiment_id: str) -> ExperimentSpec:
+    """Look up a spec by id (case-insensitive); KeyError if unknown."""
+    key = experiment_id.upper()
+    if key not in specs.SPECS:
+        raise KeyError(experiment_id)
+    return specs.SPECS[key]
+
+
+def execute(
+    spec: ExperimentSpec, params: Optional[Dict[str, object]] = None
+) -> ExperimentResult:
+    """Run one spec's workload and shape-check the measured numbers.
+
+    No caching, no observability management: this is the pure path the
+    sanitizer runner and the obs session wrap with their own hooks.
+    """
+    measurement = spec.workload(spec, **(params or {}))
+    # Round-trip through JSON so cached and fresh results are equal as
+    # values (and so a shape predicate can never depend on a type that
+    # would not survive the cache).
+    measured = json.loads(json.dumps(json_safe(measurement.measured)))
+    paper = json.loads(json.dumps(json_safe(specs.paper_for(spec))))
+    return ExperimentResult(
+        experiment=spec.id,
+        title=spec.title,
+        measured=measured,
+        paper=paper,
+        shape_holds=bool(spec.shape(measured)),
+        report="\n".join(measurement.lines),
+        notes=spec.notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cached execution
+# ---------------------------------------------------------------------------
+
+
+def run_cached(
+    spec: ExperimentSpec,
+    params: Optional[Dict[str, object]] = None,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    rerun: bool = False,
+) -> Tuple[ExperimentResult, float, bool]:
+    """Execute one spec through the cache.
+
+    Returns ``(result, wall_seconds, cache_hit)``.  ``use_cache=False``
+    disables the cache entirely (no read, no write); ``rerun=True``
+    forces execution but still refreshes the stored entry.
+    """
+    fingerprint = ""
+    if use_cache:
+        cache = cache if cache is not None else ResultCache()
+        fingerprint = spec_fingerprint(spec, params)
+        if not rerun:
+            cached = cache.load(spec.id, fingerprint)
+            if cached is not None:
+                return cached, 0.0, True
+    # Engine timing is bookkeeping for the BENCH artifact, not part of
+    # any measured value (those come from the simulated clock).
+    start = time.monotonic()  # repro-lint: disable=wall-clock -- wall time feeds the timings artifact, never a measured number
+    result = execute(spec, params)
+    wall = time.monotonic() - start  # repro-lint: disable=wall-clock -- wall time feeds the timings artifact, never a measured number
+    if use_cache and cache is not None:
+        cache.store(spec.id, fingerprint, result)
+    return result, wall, False
+
+
+# ---------------------------------------------------------------------------
+# The fan-out runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EngineRun:
+    """Outcome of one :func:`run_ids` invocation."""
+
+    #: Results in the caller's id order (parallel or not).
+    results: List[ExperimentResult] = field(default_factory=list)
+    #: Wall seconds per experiment (0.0 on a cache hit).  Explicitly
+    #: outside the determinism guarantee.
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: Whether each experiment came from the cache.
+    cache_hits: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.shape_holds for result in self.results)
+
+    def failed_ids(self) -> List[str]:
+        return [r.experiment for r in self.results if not r.shape_holds]
+
+
+def _run_one_job(job: Tuple[str, bool, bool]) -> Tuple[str, ExperimentResult, float, bool]:
+    """Worker body: must be module-level so the pool can pickle it."""
+    experiment_id, use_cache, rerun = job
+    spec = specs.SPECS[experiment_id]
+    result, wall, hit = run_cached(spec, use_cache=use_cache, rerun=rerun)
+    return experiment_id, result, wall, hit
+
+
+def run_ids(
+    ids: Sequence[str],
+    jobs: int = 1,
+    use_cache: bool = True,
+    rerun: bool = False,
+    progress: Optional[Callable[[str, bool], None]] = None,
+) -> EngineRun:
+    """Run experiments, optionally fanned out across processes.
+
+    ``ids`` must be upper-case registry keys; results come back in the
+    same order regardless of ``jobs``, so serial and parallel runs
+    print identically.  ``progress(experiment_id, cache_hit)`` fires as
+    each experiment completes (completion order under parallelism).
+    """
+    for key in ids:
+        if key not in specs.SPECS:
+            raise KeyError(key)
+    run = EngineRun()
+    jobs = max(1, min(jobs, len(ids))) if ids else 1
+    if jobs == 1:
+        outcomes = map(
+            _run_one_job, [(key, use_cache, rerun) for key in ids]
+        )
+        by_id: Dict[str, ExperimentResult] = {}
+        for key, result, wall, hit in outcomes:
+            by_id[key] = result
+            run.timings[key] = wall
+            run.cache_hits[key] = hit
+            if progress is not None:
+                progress(key, hit)
+    else:
+        context = multiprocessing.get_context()
+        by_id = {}
+        with context.Pool(processes=jobs) as pool:
+            for key, result, wall, hit in pool.imap_unordered(
+                _run_one_job, [(key, use_cache, rerun) for key in ids]
+            ):
+                by_id[key] = result
+                run.timings[key] = wall
+                run.cache_hits[key] = hit
+                if progress is not None:
+                    progress(key, hit)
+    run.results = [by_id[key] for key in ids]
+    return run
+
+
+# ---------------------------------------------------------------------------
+# BENCH records (the deterministic half of BENCH_results.json)
+# ---------------------------------------------------------------------------
+
+
+def result_record(result: ExperimentResult) -> Dict[str, object]:
+    """A deterministic BENCH record built from the result alone.
+
+    Unlike :func:`repro.obs.metrics.experiment_record` (which decorates
+    a record with profiler attribution from a live run), this is
+    derivable from a cached result — so cold-cache and warm-cache runs
+    emit byte-identical records.
+    """
+    spec = specs.SPECS[result.experiment]
+    record: Dict[str, object] = {
+        "id": result.experiment,
+        "title": result.title,
+        "section": spec.section,
+        "machines": spec.machine_names(),
+        "variants": [variant.label for variant in spec.variants],
+        "shape_holds": result.shape_holds,
+        "measured": result.measured,
+        "paper": result.paper,
+    }
+    if result.notes:
+        record["notes"] = result.notes
+    return record

@@ -1,206 +1,79 @@
 """The per-experiment reproduction registry (DESIGN.md's E1..E16).
 
-Each ``run_eN`` function reproduces one table, figure, or in-text result
-from the paper and returns an :class:`ExperimentResult` carrying the
-measured values, the paper's values, and a human-readable report.  The
-benchmark suite under ``benchmarks/`` is a thin layer over these
-runners; the ``examples/`` scripts call them too.
+Compatibility surface over the declarative engine.  The experiment
+definitions live in :mod:`repro.analysis.specs` (one
+:class:`~repro.analysis.spec.ExperimentSpec` per paper result) and run
+through :mod:`repro.analysis.engine`; this module keeps the original
+``run_eN`` call signatures for tests, examples and older callers.
+Each wrapper executes its spec directly (no result cache), exactly
+like the imperative runners it replaced.
 
-Shape checks, not absolute checks: the substrate is a simulator, so each
-experiment defines ``shape_holds`` as "the paper's qualitative claim is
-true of the measured numbers" (who wins, roughly by how much, where the
-crossover sits).
+Shape checks, not absolute checks: the substrate is a simulator, so
+each experiment defines ``shape_holds`` as "the paper's qualitative
+claim is true of the measured numbers" (who wins, roughly by how much,
+where the crossover sits).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
 from typing import Callable, Dict, List, Optional
 
-from repro.hw.addr import decompose_ea, make_virtual_address
-from repro.hw.hashtable import primary_hash, secondary_hash
-from repro.kernel.config import IdlePageClearPolicy, KernelConfig, VsidPolicy
-from repro.params import (
-    HTAB_PTE_SLOTS,
-    M603_133,
-    M603_180,
-    M604_133,
-    M604_185,
-    M604_200,
-    MachineSpec,
-    PAGE_SIZE,
+from repro.analysis import engine
+from repro.analysis.spec import ExperimentResult, ExperimentSpec
+from repro.analysis.specs import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    SPECS,
+    experiment_sort_key,
 )
-from repro.perf.histogram import occupancy_histogram
-from repro.sim.simulator import Simulator, boot
-from repro.sim.trace import WorkingSetTrace
-from repro.workloads.kbuild import CACHE_RESIDENT, kernel_compile
-from repro.workloads.lmbench import (
-    LmbenchResult,
-    context_switch,
-    lmbench_suite,
-    mmap_latency,
-    pipe_latency,
-)
-from repro.workloads.mixes import multiprogram_mix
+from repro.params import M604_133, M604_185, MachineSpec
+
+__all__ = [
+    "ExperimentResult",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "REGISTRY",
+    "run_all",
+    "sorted_ids",
+] + [f"run_e{n}" for n in range(1, 17)]
 
 
-@dataclass
-class ExperimentResult:
-    """Outcome of one reproduced experiment."""
+def _with_machine(spec: ExperimentSpec, machine: MachineSpec) -> ExperimentSpec:
+    """The spec with every variant re-pointed at ``machine``.
 
-    experiment: str
-    title: str
-    measured: Dict[str, object]
-    paper: Dict[str, object]
-    shape_holds: bool
-    report: str
-    notes: str = ""
-
-
-def _report(lines: List[str]) -> str:
-    return "\n".join(lines)
-
-
-# ---------------------------------------------------------------------------
-# E1 — Figure 1: the translation datapath
-# ---------------------------------------------------------------------------
-
-
-def run_e1(ea: int = 0x30012ABC, vsid: int = 0x123456) -> ExperimentResult:
-    """Figure 1: decompose one EA through the architected datapath."""
-    fields = decompose_ea(ea)
-    va = make_virtual_address(vsid, ea)
-    h1 = primary_hash(vsid, fields.page_index)
-    h2 = secondary_hash(vsid, fields.page_index)
-    sim = boot(M604_185, KernelConfig.optimized())
-    task = sim.kernel.spawn("fig1", data_pages=8)
-    sim.kernel.switch_to(task)
-    result = sim.machine.translate(0x10000000)
-    lines = [
-        "Figure 1 — PowerPC hash-table translation",
-        f"  EA        0x{ea:08x}",
-        f"  SR#       {fields.segment} (4 bits)",
-        f"  page idx  0x{fields.page_index:04x} (16 bits)",
-        f"  offset    0x{fields.offset:03x} (12 bits)",
-        f"  VSID      0x{vsid:06x} (24 bits)",
-        f"  VA        0x{va.value:013x} (52 bits)",
-        f"  hash1     0x{h1:05x}   hash2 0x{h2:05x}",
-        f"  live translation path: {result.path}, PA 0x{result.pa:08x}",
-    ]
-    measured = {
-        "segment": fields.segment,
-        "page_index": fields.page_index,
-        "offset": fields.offset,
-        "va_bits": va.value.bit_length(),
-        "live_path": result.path,
-    }
-    shape = (
-        fields.segment == (ea >> 28)
-        and va.value.bit_length() <= 52
-        and h2 == (~h1) & ((1 << 19) - 1)
-    )
-    return ExperimentResult(
-        experiment="E1",
-        title="Figure 1: translation datapath",
-        measured=measured,
-        paper={"va_bits": 52, "segment_bits": 4, "page_index_bits": 16},
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E2 — §5.1: BAT-mapping the kernel
-# ---------------------------------------------------------------------------
-
-
-def run_e2(units: int = 6, spec: MachineSpec = M604_185) -> ExperimentResult:
-    """§5.1: kernel BAT map vs PTE-mapped kernel on the compile."""
-    unopt = KernelConfig.unoptimized()
-    with_bat = unopt.with_changes(bat_kernel_map=True)
-    base = kernel_compile(boot(spec, unopt), units=units, label="no BAT")
-    bat = kernel_compile(boot(spec, with_bat), units=units, label="BAT")
-    tlb_ratio = bat.tlb_misses / max(base.tlb_misses, 1)
-    htab_ratio = bat.htab_misses / max(base.htab_misses, 1)
-    wall_ratio = bat.wall_ms / base.wall_ms
-    lines = [
-        "E2 — §5.1 BAT-mapping the kernel (kernel compile)",
-        f"  TLB misses      {base.tlb_misses} -> {bat.tlb_misses}"
-        f"  (ratio {tlb_ratio:.2f}; paper 219M -> 197M = 0.90)",
-        f"  htab misses     {base.htab_misses} -> {bat.htab_misses}"
-        f"  (ratio {htab_ratio:.2f}; paper 1M -> 813k = 0.81)",
-        f"  kernel TLB slots (high water) {base.kernel_tlb_entries_high_water}"
-        f" -> {bat.kernel_tlb_entries_high_water} (paper: ~1/3 of TLB -> <=4)",
-        f"  wall            {base.wall_ms:.1f} -> {bat.wall_ms:.1f} ms"
-        f"  (ratio {wall_ratio:.2f}; paper 10min -> 8min = 0.80)",
-        f"  [trace scale 1/{base.trace_scale}: full-compile equivalents "
-        f"{base.full_scale_tlb_misses / 1e6:.0f}M -> "
-        f"{bat.full_scale_tlb_misses / 1e6:.0f}M TLB misses, "
-        f"{base.full_scale_wall_minutes:.1f} -> "
-        f"{bat.full_scale_wall_minutes:.1f} min]",
-    ]
-    shape = (
-        bat.tlb_misses < base.tlb_misses
-        and bat.htab_misses <= base.htab_misses
-        and bat.kernel_tlb_entries_high_water <= 4
-        and wall_ratio <= 1.02
-    )
-    return ExperimentResult(
-        experiment="E2",
-        title="§5.1 BAT kernel mapping",
-        measured={
-            "tlb_ratio": tlb_ratio,
-            "htab_ratio": htab_ratio,
-            "kernel_tlb_slots_after": bat.kernel_tlb_entries_high_water,
-            "wall_ratio": wall_ratio,
-        },
-        paper={
-            "tlb_ratio": 0.90,
-            "htab_ratio": 0.81,
-            "kernel_tlb_slots_after": 4,
-            "wall_ratio": 0.80,
-        },
-        shape_holds=shape,
-        report=_report(lines),
-        notes=(
-            "Wall-clock effect under-reproduces: our scaled compile is "
-            "cache-bound where the original was reload-bound, so removing "
-            "kernel TLB misses moves wall time less than the paper's 20%."
+    The legacy runners took one ``spec: MachineSpec`` argument that
+    applied to every configuration they booted; this reproduces that
+    behavior for the (single-machine) experiments that offered it.
+    """
+    return dataclasses.replace(
+        spec,
+        variants=tuple(
+            dataclasses.replace(variant, machine=machine)
+            for variant in spec.variants
         ),
     )
 
 
-# ---------------------------------------------------------------------------
-# E3 — §5.2: VSID scatter and hash-table occupancy
-# ---------------------------------------------------------------------------
+def _run(
+    experiment_id: str,
+    machine: Optional[MachineSpec] = None,
+    **params: object,
+) -> ExperimentResult:
+    spec = SPECS[experiment_id]
+    if machine is not None and machine is not spec.variants[0].machine:
+        spec = _with_machine(spec, machine)
+    return engine.execute(spec, params or None)
 
 
-def _fill_htab(sim: Simulator, processes: int, pages: int) -> None:
-    """Fault ``pages`` pages in each of ``processes`` address spaces.
+def run_e1(ea: int = 0x30012ABC, vsid: int = 0x123456) -> ExperimentResult:
+    """Figure 1: decompose one EA through the architected datapath."""
+    return _run("E1", ea=ea, vsid=vsid)
 
-    Most of each address space is a *shared* library mapping — the same
-    physical frames mapped by every process under its own VSIDs, which
-    is how a 32 MB machine generates far more PTEs than it has frames
-    (each mapping needs its own hash-table entry).
-    """
-    kernel = sim.kernel
-    anon_pages = max(pages // 6, 1)
-    shared_pages = pages - anon_pages
-    kernel.fs.create("shlib.so", shared_pages * PAGE_SIZE, wired=True)
-    kernel.fs.prefault("shlib.so")
-    for index in range(processes):
-        task = kernel.spawn(
-            f"fill{index}", text_pages=8, data_pages=anon_pages + 2
-        )
-        kernel.scheduler.enqueue(task)
-        kernel.switch_to(task)
-        for page in range(anon_pages):
-            kernel.user_access(task, 0x10000000 + page * PAGE_SIZE, 1, True)
-        lib = kernel.sys_mmap(
-            task, shared_pages * PAGE_SIZE, file="shlib.so", writable=False
-        )
-        for page in range(shared_pages):
-            kernel.user_access(task, lib + page * PAGE_SIZE, 1, False)
+
+def run_e2(units: int = 6, spec: MachineSpec = M604_185) -> ExperimentResult:
+    """§5.1: kernel BAT map vs PTE-mapped kernel on the compile."""
+    return _run("E2", machine=spec, units=units)
 
 
 def run_e3(
@@ -209,274 +82,25 @@ def run_e3(
     spec: MachineSpec = M604_185,
 ) -> ExperimentResult:
     """§5.2: hash occupancy for power-of-two vs scattered VSIDs vs BAT."""
-    variants = [
-        # (label, scatter constant, BAT kernel map).  Power-of-two
-        # multipliers alias in the low hash bits; the larger the power,
-        # the fewer distinct buckets the processes can reach.
-        ("pid<<11 (pow2: all pids share buckets)", 2048, False),
-        ("pid<<4  (pow2, milder aliasing)", 16, False),
-        ("pid*37  (non-pow2 scatter)", 37, False),
-        ("pid*37 + kernel via BAT", 37, True),
-    ]
-    rows = []
-    occupancies = {}
-    for label, constant, bat in variants:
-        config = KernelConfig(
-            vsid_policy=VsidPolicy.PID_SCATTER,
-            vsid_scatter_constant=constant,
-            bat_kernel_map=bat,
-        )
-        sim = boot(spec, config)
-        _fill_htab(sim, processes, pages_per_process)
-        htab = sim.machine.htab
-        histogram = occupancy_histogram(htab)
-        occupancy = htab.occupancy()
-        occupancies[label] = occupancy
-        rows.append(
-            f"  {label:<40} occupancy {occupancy:5.1%}"
-            f"  evicts {htab.evicts:6d}"
-            f"  hot-spot ratio {histogram.hot_spot_ratio():4.1f}"
-            f"  entropy {histogram.entropy_efficiency():4.2f}"
-        )
-    values = list(occupancies.values())
-    lines = [
-        "E3 — §5.2 VSID scatter tuning "
-        f"({processes} procs x {pages_per_process} pages, "
-        f"{processes * pages_per_process} inserts into {HTAB_PTE_SLOTS} slots)",
-        *rows,
-        "  paper: 37% (naive) -> 57% (scattered) -> 75% (kernel PTEs removed)",
-    ]
-    # The ladder: each scatter improvement raises occupancy; the BAT
-    # variant must not regress it.
-    shape = (
-        values[0] < values[1] < values[2]
-        and values[3] >= values[2] - 0.02
+    return _run(
+        "E3", machine=spec,
+        processes=processes, pages_per_process=pages_per_process,
     )
-    return ExperimentResult(
-        experiment="E3",
-        title="§5.2 hash-table occupancy vs VSID scatter",
-        measured={label: occ for label, occ in occupancies.items()},
-        paper={"naive": 0.37, "scattered": 0.57, "kernel_removed": 0.75},
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E4 — §6.1: fast (assembly) miss handlers
-# ---------------------------------------------------------------------------
 
 
 def run_e4(spec: MachineSpec = M604_133) -> ExperimentResult:
     """§6.1: C handlers vs hand-scheduled assembly handlers."""
-    slow = KernelConfig.unoptimized()
-    fast = slow.with_changes(fast_handlers=True, optimized_entry=True)
-    ctx_slow = context_switch(boot(spec, slow))
-    ctx_fast = context_switch(boot(spec, fast))
-    lat_slow = pipe_latency(boot(spec, slow))
-    lat_fast = pipe_latency(boot(spec, fast))
-    wall_slow = kernel_compile(boot(spec, slow), units=4, label="C").wall_ms
-    wall_fast = kernel_compile(boot(spec, fast), units=4, label="asm").wall_ms
-    ctx_ratio = ctx_fast / ctx_slow
-    lat_ratio = lat_fast / lat_slow
-    wall_ratio = wall_fast / wall_slow
-    lines = [
-        "E4 — §6.1 fast TLB reload handlers",
-        f"  context switch {ctx_slow:6.1f} -> {ctx_fast:6.1f} us"
-        f"  (ratio {ctx_ratio:.2f}; paper -33% = 0.67)",
-        f"  pipe latency   {lat_slow:6.1f} -> {lat_fast:6.1f} us"
-        f"  (ratio {lat_ratio:.2f}; paper -15% = 0.85)",
-        f"  compile wall   {wall_slow:6.1f} -> {wall_fast:6.1f} ms"
-        f"  (ratio {wall_ratio:.2f}; paper ~-15% = 0.85)",
-    ]
-    shape = ctx_ratio < 0.8 and lat_ratio < 0.92 and wall_ratio < 1.0
-    return ExperimentResult(
-        experiment="E4",
-        title="§6.1 fast reload handlers",
-        measured={
-            "ctxsw_ratio": ctx_ratio,
-            "pipe_latency_ratio": lat_ratio,
-            "compile_ratio": wall_ratio,
-        },
-        paper={
-            "ctxsw_ratio": 0.67,
-            "pipe_latency_ratio": 0.85,
-            "compile_ratio": 0.85,
-        },
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E5 — Table 1: removing the hash table on the 603
-# ---------------------------------------------------------------------------
-
-#: The paper's Table 1 cells.
-PAPER_TABLE1 = {
-    "603 180MHz (htab)": dict(pstart=1.8, ctxsw=4, pipelat=17, pipebw=69, reread=33),
-    "603 180MHz (no htab)": dict(pstart=1.7, ctxsw=3, pipelat=19, pipebw=73, reread=36),
-    "604 185MHz": dict(pstart=1.6, ctxsw=4, pipelat=21, pipebw=88, reread=39),
-    "604 200MHz": dict(pstart=1.6, ctxsw=4, pipelat=20, pipebw=92, reread=41),
-}
+    return _run("E4", machine=spec)
 
 
 def run_e5() -> ExperimentResult:
     """Table 1: LmBench summary for direct (no-htab) TLB reloads."""
-    opt = KernelConfig.optimized()
-    configs = [
-        ("603 180MHz (htab)", M603_180, opt.with_changes(use_htab_on_603=True)),
-        ("603 180MHz (no htab)", M603_180, opt),
-        ("604 185MHz", M604_185, opt),
-        ("604 200MHz", M604_200, opt),
-    ]
-    results: List[LmbenchResult] = []
-    for label, spec, config in configs:
-        results.append(
-            lmbench_suite(
-                lambda spec=spec, config=config: boot(spec, config),
-                label=label,
-                points=(
-                    "ctxsw",
-                    "pipe_latency",
-                    "pipe_bw",
-                    "file_reread",
-                    "process_start",
-                ),
-            )
-        )
-    lines = ["E5 — Table 1: LmBench summary (htab vs no-htab on the 603)"]
-    for result in results:
-        paper = PAPER_TABLE1[result.label]
-        lines.append(
-            f"  {result.label:<22}"
-            f" pstart {result.process_start_ms:5.2f} ms ({paper['pstart']})"
-            f"  ctxsw {result.ctxsw_us:5.1f} us ({paper['ctxsw']})"
-            f"  pipe lat {result.pipe_latency_us:5.1f} us ({paper['pipelat']})"
-            f"  pipe bw {result.pipe_bw_mb_s:5.1f} ({paper['pipebw']})"
-            f"  reread {result.file_reread_mb_s:5.1f} ({paper['reread']})"
-        )
-    lines.append("  (parenthesized: paper values)")
-    by_label = {result.label: result for result in results}
-    # The paper's headline: the 180MHz 603 keeps pace with the 604s.
-    m603 = by_label["603 180MHz (no htab)"]
-    m604 = by_label["604 185MHz"]
-    shape = (
-        m603.pipe_bw_mb_s >= 0.75 * m604.pipe_bw_mb_s
-        and m603.ctxsw_us <= 1.6 * m604.ctxsw_us
-        and by_label["603 180MHz (no htab)"].process_start_ms
-        <= by_label["603 180MHz (htab)"].process_start_ms
-    )
-    return ExperimentResult(
-        experiment="E5",
-        title="Table 1: direct TLB reloads on the 603",
-        measured={
-            label: {
-                "pstart_ms": result.process_start_ms,
-                "ctxsw_us": result.ctxsw_us,
-                "pipe_lat_us": result.pipe_latency_us,
-                "pipe_bw": result.pipe_bw_mb_s,
-                "reread": result.file_reread_mb_s,
-            }
-            for label, result in by_label.items()
-        },
-        paper=PAPER_TABLE1,
-        shape_holds=shape,
-        report=_report(lines),
-        notes=(
-            "The in-noise per-cell differences between htab and no-htab "
-            "(pipe bw +-6%, reread +-9%) do not fully reproduce; the "
-            "headline (603@180 keeps pace with the 604s; process start "
-            "improves without the hash table) does."
-        ),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E6 — Table 2: lazy flushes + tunable range flushing
-# ---------------------------------------------------------------------------
-
-PAPER_TABLE2 = {
-    "603 133MHz": dict(mmap=3240, ctxsw=6, pipelat=34, pipebw=52, reread=26),
-    "603 133MHz (lazy)": dict(mmap=41, ctxsw=6, pipelat=28, pipebw=57, reread=32),
-    "604 185MHz": dict(mmap=2733, ctxsw=4, pipelat=22, pipebw=90, reread=38),
-    "604 185MHz (tune)": dict(mmap=33, ctxsw=4, pipelat=21, pipebw=94, reread=41),
-}
+    return _run("E5")
 
 
 def run_e6() -> ExperimentResult:
     """Table 2: search-flushing vs lazy VSID flushing."""
-    # The non-lazy columns are otherwise-optimized kernels that still
-    # search-flush; the lazy columns add the VSID bump + cutoff.
-    lazy = KernelConfig.optimized()
-    search = lazy.with_changes(
-        lazy_vsid_flush=False, vsid_policy=VsidPolicy.PID_SCATTER
-    )
-    configs = [
-        ("603 133MHz", M603_133, search.with_changes(use_htab_on_603=True)),
-        ("603 133MHz (lazy)", M603_133, lazy.with_changes(use_htab_on_603=True)),
-        ("604 185MHz", M604_185, search),
-        ("604 185MHz (tune)", M604_185, lazy),
-    ]
-    results = []
-    for label, spec, config in configs:
-        results.append(
-            lmbench_suite(
-                lambda spec=spec, config=config: boot(spec, config),
-                label=label,
-                points=("mmap_latency", "ctxsw", "pipe_latency", "pipe_bw",
-                        "file_reread"),
-            )
-        )
-    lines = ["E6 — Table 2: LmBench summary for tunable TLB range flushing"]
-    for result in results:
-        paper = PAPER_TABLE2[result.label]
-        lines.append(
-            f"  {result.label:<20}"
-            f" mmap {result.mmap_latency_us:7.1f} us ({paper['mmap']})"
-            f"  ctxsw {result.ctxsw_us:5.1f} ({paper['ctxsw']})"
-            f"  pipe lat {result.pipe_latency_us:5.1f} ({paper['pipelat']})"
-            f"  pipe bw {result.pipe_bw_mb_s:5.1f} ({paper['pipebw']})"
-            f"  reread {result.file_reread_mb_s:5.1f} ({paper['reread']})"
-        )
-    lines.append("  (parenthesized: paper values)")
-    by_label = {result.label: result for result in results}
-    improvement_603 = (
-        by_label["603 133MHz"].mmap_latency_us
-        / by_label["603 133MHz (lazy)"].mmap_latency_us
-    )
-    improvement_604 = (
-        by_label["604 185MHz"].mmap_latency_us
-        / by_label["604 185MHz (tune)"].mmap_latency_us
-    )
-    lines.append(
-        f"  mmap improvement: 603 {improvement_603:.0f}x (paper 79x), "
-        f"604 {improvement_604:.0f}x (paper 83x)"
-    )
-    shape = improvement_603 > 40 and improvement_604 > 40
-    return ExperimentResult(
-        experiment="E6",
-        title="Table 2: lazy VSID flushing",
-        measured={
-            "mmap_improvement_603": improvement_603,
-            "mmap_improvement_604": improvement_604,
-            "rows": {
-                label: {
-                    "mmap_us": result.mmap_latency_us,
-                    "pipe_bw": result.pipe_bw_mb_s,
-                }
-                for label, result in by_label.items()
-            },
-        },
-        paper={"mmap_improvement_603": 79.0, "mmap_improvement_604": 82.8},
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E7 — §7: idle-task zombie reclaim
-# ---------------------------------------------------------------------------
+    return _run("E6")
 
 
 def run_e7(
@@ -486,721 +110,56 @@ def run_e7(
     think_cycles: int = 120000,
 ) -> ExperimentResult:
     """§7: zombie PTE reclaim in the idle task."""
-    base = KernelConfig.optimized().with_changes(idle_zombie_reclaim=False)
-    no_reclaim = multiprogram_mix(
-        boot(spec, base),
+    return _run(
+        "E7", machine=spec,
         rounds=rounds, churn_every=churn_every, think_cycles=think_cycles,
-        label="no reclaim",
-    )
-    reclaim = multiprogram_mix(
-        boot(spec, KernelConfig.optimized()),
-        rounds=rounds, churn_every=churn_every, think_cycles=think_cycles,
-        label="idle reclaim",
-    )
-    lines = [
-        "E7 — §7 idle-task zombie reclaim (multiprogramming mix)",
-        f"  {'':<14}{'valid':>8}{'live':>8}{'zombie':>8}"
-        f"{'evict/reload':>14}{'htab hit':>10}",
-        f"  {'no reclaim':<14}{no_reclaim.valid_entries:8.0f}"
-        f"{no_reclaim.live_entries:8.0f}{no_reclaim.zombie_entries:8.0f}"
-        f"{no_reclaim.evict_ratio:14.2f}{no_reclaim.htab_hit_rate:10.2f}",
-        f"  {'reclaim':<14}{reclaim.valid_entries:8.0f}"
-        f"{reclaim.live_entries:8.0f}{reclaim.zombie_entries:8.0f}"
-        f"{reclaim.evict_ratio:14.2f}{reclaim.htab_hit_rate:10.2f}",
-        f"  zombies reclaimed: {reclaim.zombies_reclaimed}",
-        "  paper: table fills with zombies; evict ratio >90% -> ~30%;",
-        "  occupancy 600-700 -> 1400-2200 of 16384; hit rate 85% -> 98%",
-    ]
-    shape = (
-        no_reclaim.valid_entries > 0.85 * HTAB_PTE_SLOTS
-        and reclaim.valid_entries < 0.6 * no_reclaim.valid_entries
-        and reclaim.evict_ratio < 0.5 * max(no_reclaim.evict_ratio, 1e-9)
-        and reclaim.zombies_reclaimed > 0
-    )
-    return ExperimentResult(
-        experiment="E7",
-        title="§7 zombie reclaim in the idle task",
-        measured={
-            "evict_ratio_before": no_reclaim.evict_ratio,
-            "evict_ratio_after": reclaim.evict_ratio,
-            "valid_before": no_reclaim.valid_entries,
-            "valid_after": reclaim.valid_entries,
-            "hit_rate_before": no_reclaim.htab_hit_rate,
-            "hit_rate_after": reclaim.htab_hit_rate,
-            "zombies_reclaimed": reclaim.zombies_reclaimed,
-        },
-        paper={
-            "evict_ratio_before": 0.90,
-            "evict_ratio_after": 0.30,
-            "hit_rate_before": 0.85,
-            "hit_rate_after": 0.98,
-        },
-        shape_holds=shape,
-        report=_report(lines),
-        notes=(
-            "Live-entry growth (600-700 -> 1400-2200) reproduces only "
-            "partially: with round-robin bucket replacement, evicts land "
-            "mostly on zombies, so live occupancy is less sensitive here "
-            "than on the real system."
-        ),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E8 — §7: the range-flush cutoff
-# ---------------------------------------------------------------------------
-
-
-def _e8_workload(sim: Simulator, region_pages: int, iterations: int = 8):
-    """Map a region, touch part of it, unmap — measuring the pair cost."""
-    kernel = sim.kernel
-    executive = sim.executive
-    kernel.fs.create(f"map{region_pages}.dat", region_pages * PAGE_SIZE)
-    touched = min(region_pages, 16)
-
-    def factory(task):
-        def body(t):
-            for index in range(iterations + 1):
-                if index == 1:
-                    yield ("mark", "e8_start")
-                addr = yield ("mmap", region_pages * PAGE_SIZE,
-                              f"map{region_pages}.dat", None)
-                for page in range(touched):
-                    step = max(region_pages // touched, 1)
-                    yield ("touch", addr + page * step * PAGE_SIZE, 4, False)
-                yield ("munmap", addr, region_pages * PAGE_SIZE)
-            yield ("mark", "e8_end")
-
-        return body(task)
-
-    executive.spawn("e8", factory)
-    sim.run()
-    delta = executive.mark_deltas("e8_start", "e8_end")[0]
-    return (
-        sim.cycles_to_us(delta / iterations),
-        sim.machine.monitor.total_tlb_misses(),
     )
 
 
 def run_e8(spec: MachineSpec = M604_185) -> ExperimentResult:
     """§7: sweep the range-flush cutoff; mmap latency and TLB misses."""
-    large_pages = 1024  # the lat_mmap-style 4 MB region
-    small_pages = 8  # under the tuned cutoff
-    sweep = []
-    for cutoff, label in (
-        (None, "search (no lazy)"),
-        (5, "cutoff 5"),
-        (20, "cutoff 20 (tuned)"),
-        (10**6, "cutoff inf"),
-    ):
-        if cutoff is None:
-            config = KernelConfig.optimized().with_changes(
-                lazy_vsid_flush=False, vsid_policy=VsidPolicy.PID_SCATTER
-            )
-        else:
-            config = KernelConfig.optimized().with_changes(
-                range_flush_cutoff=cutoff
-            )
-        # Pure lat_mmap (untouched region: the paper's 80x number) plus
-        # a touched variant so the TLB-miss comparison is meaningful.
-        pure_us = mmap_latency(boot(spec, config))
-        large_us, large_misses = _e8_workload(boot(spec, config), large_pages)
-        small_us, _ = _e8_workload(boot(spec, config), small_pages)
-        sweep.append((label, cutoff, pure_us, large_us, small_us, large_misses))
-    lines = [
-        "E8 — §7 tunable range-flush cutoff",
-        f"  {'':<20}{'lat_mmap 4MB':>14}{'4MB touched':>14}"
-        f"{'32KB touched':>14}{'TLB misses':>12}",
-    ]
-    for label, _cutoff, pure_us, large_us, small_us, misses in sweep:
-        lines.append(
-            f"  {label:<20}{pure_us:11.1f} us{large_us:11.1f} us"
-            f"{small_us:11.1f} us{misses:12d}"
-        )
-    lines.append(
-        "  paper: cutoff 20 pages -> mmap latency 80x better, "
-        "'at no cost to the TLB hit rate'"
-    )
-    by_label = {entry[0]: entry for entry in sweep}
-    search = by_label["search (no lazy)"]
-    tuned = by_label["cutoff 20 (tuned)"]
-    infinite = by_label["cutoff inf"]
-    improvement = search[2] / tuned[2]
-    shape = (
-        improvement > 40  # the 80x-class improvement on big ranges
-        and infinite[2] > 5 * tuned[2]  # no cutoff -> back to search cost
-        and tuned[5] <= search[5] * 1.10  # no extra TLB misses
-        and tuned[4] <= search[4] * 1.25  # small ranges stay cheap
-    )
-    return ExperimentResult(
-        experiment="E8",
-        title="§7 range-flush cutoff sweep",
-        measured={
-            "search_us": search[2],
-            "cutoff20_us": tuned[2],
-            "improvement": improvement,
-            "misses_search": search[5],
-            "misses_cutoff20": tuned[5],
-            "small_region_search_us": search[4],
-            "small_region_cutoff20_us": tuned[4],
-        },
-        paper={"improvement": 80.0},
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E9 — §8: cache misuse on page tables
-# ---------------------------------------------------------------------------
+    return _run("E8", machine=spec)
 
 
 def run_e9(spec: MachineSpec = M604_185) -> ExperimentResult:
     """§8: memory accesses and cache lines created by the refill path."""
-    # Part 1: count the architected worst case on one cold miss.
-    config = KernelConfig.optimized()
-    sim = boot(spec, config)
-    kernel = sim.kernel
-    task = kernel.spawn("e9", data_pages=4)
-    kernel.switch_to(task)
-    # Fault the page in (so the Linux PTE exists), then flush everything
-    # so the next access walks hash table (miss) + PTE tree + reinsert.
-    kernel.user_access(task, 0x10000000, 1, True)
-    sim.machine.htab.invalidate_all()
-    sim.machine.invalidate_tlbs()
-    # Cold caches: the paper's counting assumes the PTEG and PTE-tree
-    # lines are not already resident.
-    sim.machine.dcache.flush_all()
-    sim.machine.l2.flush_all()
-    misses_before = sim.machine.dcache.stats.misses
-    kernel.user_access(task, 0x10000000, 1, False)
-    # Each data-cache miss on the refill path creates one new line.
-    new_lines = sim.machine.dcache.stats.misses - misses_before
-    # Architected accounting (§8): 16 (search+miss) + 2..3 (tree) + up
-    # to 16 (insert scan) = ~34 memory accesses.
-    search_refs = 16  # both PTEGs probed on the miss
-    tree_refs = 3
-    insert_refs = 16  # worst case scan of both PTEGs
-    worst_case = search_refs + tree_refs + insert_refs
-
-    # Part 2: cached vs uncached page tables on a TLB-heavy workload.
-    def storm(cache_ptes: bool):
-        sim = boot(spec, config.with_changes(cache_page_tables=cache_ptes))
-        kernel = sim.kernel
-        task = kernel.spawn("storm", data_pages=402)
-        kernel.switch_to(task)
-        trace = WorkingSetTrace(
-            0x01000000, 12, 0x10000000, 400, hot_fraction=1.0,
-            lines_per_visit=4, seed=3,
-        )
-        mark = sim.machine.clock.snapshot()
-        for visit in trace.visits(12000):
-            kernel.user_access(task, visit.ea, visit.lines, visit.write,
-                               visit.kind, first_line=visit.first_line)
-        cycles = sim.machine.clock.since(mark)
-        return cycles, sim.machine.dcache.stats.misses
-
-    cached_cycles, cached_misses = storm(True)
-    uncached_cycles, uncached_misses = storm(False)
-    lines = [
-        "E9 — §8 cache misuse on page tables",
-        f"  cold refill path: {worst_case} architected memory accesses "
-        "(16 search + 3 tree + 16 insert; paper: 34)",
-        f"  new data-cache lines created by one refill: {new_lines} "
-        "(paper: up to 18)",
-        f"  TLB-storm with cached page tables:   {cached_cycles} cycles, "
-        f"{cached_misses} dcache misses",
-        f"  TLB-storm with uncached page tables: {uncached_cycles} cycles, "
-        f"{uncached_misses} dcache misses",
-        f"  dcache misses saved by uncaching page tables: "
-        f"{cached_misses - uncached_misses}",
-    ]
-    shape = new_lines <= 18 and uncached_misses < cached_misses
-    return ExperimentResult(
-        experiment="E9",
-        title="§8 page-table cache pollution",
-        measured={
-            "worst_case_refs": worst_case,
-            "new_cache_lines_per_refill": new_lines,
-            "storm_cached_misses": cached_misses,
-            "storm_uncached_misses": uncached_misses,
-        },
-        paper={"worst_case_refs": 34, "new_cache_lines_per_refill": 18},
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E10 — §9: idle-task page clearing
-# ---------------------------------------------------------------------------
-
-
-def _pollution_run(spec: MachineSpec, policy: IdlePageClearPolicy) -> int:
-    """Sub-experiment A: steady working set + idle clearing windows."""
-    config = KernelConfig.optimized().with_changes(
-        idle_page_clear=policy, idle_zombie_reclaim=False
-    )
-    sim = boot(spec, config)
-    executive = sim.executive
-
-    def factory(task):
-        def body(t):
-            trace = WorkingSetTrace(
-                0x01000000, 12, 0x10000000, 360, hot_fraction=0.9,
-                lines_per_visit=32, drift=0.0, seed=7,
-            )
-            # Warm up to steady state, then measure rounds of work with
-            # think-time (idle windows) between them.
-            for _ in range(3):
-                yield ("work", trace.visit_list(500))
-            yield ("mark", "poll_start")
-            for _ in range(10):
-                yield ("sleep", 900000)
-                yield ("work", trace.visit_list(500))
-            yield ("mark", "poll_end")
-
-        return body(task)
-
-    executive.spawn("steady", factory, data_pages=364)
-    sim.run()
-    total = executive.mark_deltas("poll_start", "poll_end")[0]
-    # The sleeps themselves are constant; compare busy time.
-    return total - 10 * 900000
+    return _run("E9", machine=spec)
 
 
 def run_e10(spec: MachineSpec = M604_185, units: int = 5) -> ExperimentResult:
     """§9: the three page-clearing variants vs the baseline."""
-    # Sub-experiment A: pollution (low allocation, idle-heavy).
-    busy = {}
-    for policy in (
-        IdlePageClearPolicy.OFF,
-        IdlePageClearPolicy.CACHED_LIST,
-        IdlePageClearPolicy.UNCACHED_NO_LIST,
-        IdlePageClearPolicy.UNCACHED_LIST,
-    ):
-        busy[policy] = _pollution_run(spec, policy)
-    # Sub-experiment B: allocation-heavy compile.
-    walls = {}
-    for policy in busy:
-        config = KernelConfig.optimized().with_changes(idle_page_clear=policy)
-        result = kernel_compile(
-            boot(spec, config), units=units, profile=CACHE_RESIDENT,
-            label=policy.value,
-        )
-        walls[policy] = result.wall_ms
-    off = IdlePageClearPolicy.OFF
-    lines = [
-        "E10 — §9 idle-task page clearing",
-        "  A: steady working set, idle windows (pollution regime); "
-        "busy cycles relative to OFF:",
-    ]
-    for policy, value in busy.items():
-        lines.append(
-            f"    {policy.value:<18} {value:10d} ({value / busy[off]:.3f}x)"
-        )
-    lines.append(
-        "  B: allocation-heavy compile (pre-clear benefit regime); "
-        "wall ms relative to OFF:"
-    )
-    for policy, value in walls.items():
-        lines.append(
-            f"    {policy.value:<18} {value:10.1f} ({value / walls[off]:.3f}x)"
-        )
-    lines.append(
-        "  paper: cached+list ~2x slower; uncached w/o list: no change; "
-        "uncached+list: faster"
-    )
-    pollution_cached = busy[IdlePageClearPolicy.CACHED_LIST] / busy[off]
-    pollution_nolist = busy[IdlePageClearPolicy.UNCACHED_NO_LIST] / busy[off]
-    benefit_list = walls[IdlePageClearPolicy.UNCACHED_LIST] / walls[off]
-    benefit_nolist = walls[IdlePageClearPolicy.UNCACHED_NO_LIST] / walls[off]
-    shape = (
-        pollution_cached > 1.05  # cached clearing hurts
-        and 0.97 < pollution_nolist < 1.03  # uncached w/o list: no change
-        and benefit_list < 0.97  # uncached + list wins
-        and 0.97 < benefit_nolist < 1.03
-    )
-    return ExperimentResult(
-        experiment="E10",
-        title="§9 idle-task page clearing",
-        measured={
-            "pollution_cached_ratio": pollution_cached,
-            "pollution_uncached_nolist_ratio": pollution_nolist,
-            "compile_uncached_list_ratio": benefit_list,
-            "compile_uncached_nolist_ratio": benefit_nolist,
-            "compile_cached_ratio": walls[IdlePageClearPolicy.CACHED_LIST]
-            / walls[off],
-        },
-        paper={
-            "pollution_cached_ratio": 2.0,
-            "pollution_uncached_nolist_ratio": 1.0,
-            "compile_uncached_list_ratio": 0.9,
-        },
-        shape_holds=shape,
-        report=_report(lines),
-        notes=(
-            "The cached-clearing penalty reproduces in direction (slower) "
-            "but not the full 2x: the tag-only cache model has no bus "
-            "contention, which the paper's SMP footnote identifies as the "
-            "other half of the cost."
-        ),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E11 — Table 3: OS comparison
-# ---------------------------------------------------------------------------
+    return _run("E10", machine=spec, units=units)
 
 
 def run_e11() -> ExperimentResult:
     """Table 3: Linux/PPC vs unoptimized vs Rhapsody vs MkLinux vs AIX."""
-    from repro.oscompare.runner import PAPER_TABLE3, run_table3
-
-    rows = run_table3()
-    lines = ["E11 — Table 3: LmBench summary for Linux/PPC and other OSes"]
-    for row in rows:
-        paper = PAPER_TABLE3[row.os]
-        lines.append(
-            f"  {row.os:<22} null {row.null_syscall_us:5.1f} ({paper[0]:2d})"
-            f"  ctxsw {row.ctxsw_us:5.1f} ({paper[1]:2d})"
-            f"  pipe lat {row.pipe_latency_us:6.1f} ({paper[2]:3d})"
-            f"  pipe bw {row.pipe_bw_mb_s:5.1f} ({paper[3]:2d})"
-        )
-    lines.append("  (parenthesized: paper values; all on a 133MHz 604)")
-    by_os = {row.os: row for row in rows}
-    linux = by_os["Linux/PPC"]
-    shape = all(
-        linux.null_syscall_us < other.null_syscall_us
-        and linux.ctxsw_us < other.ctxsw_us
-        and linux.pipe_latency_us < other.pipe_latency_us
-        and linux.pipe_bw_mb_s > other.pipe_bw_mb_s
-        for os_name, other in by_os.items()
-        if os_name != "Linux/PPC"
-    )
-    return ExperimentResult(
-        experiment="E11",
-        title="Table 3: OS comparison",
-        measured={
-            row.os: {
-                "null_us": row.null_syscall_us,
-                "ctxsw_us": row.ctxsw_us,
-                "pipe_lat_us": row.pipe_latency_us,
-                "pipe_bw": row.pipe_bw_mb_s,
-            }
-            for row in rows
-        },
-        paper={os_name: dict(zip(("null_us", "ctxsw_us", "pipe_lat_us",
-                                  "pipe_bw"), values))
-               for os_name, values in PAPER_TABLE3.items()},
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E12 — §5.1: BAT-mapping the I/O space
-# ---------------------------------------------------------------------------
+    return _run("E11")
 
 
 def run_e12(spec: MachineSpec = M604_185) -> ExperimentResult:
     """§5.1: I/O-space BATs 'did not improve these measures significantly'."""
-    from repro.kernel.kernel import IO_BASE_EA
-
-    def run(io_bat: bool):
-        config = KernelConfig.optimized().with_changes(bat_io_map=io_bat)
-        sim = boot(spec, config)
-        kernel = sim.kernel
-        task = kernel.spawn("xserver", data_pages=66)
-        kernel.switch_to(task)
-        trace = WorkingSetTrace(
-            0x01000000, 12, 0x10000000, 64, hot_fraction=0.5, seed=11,
-        )
-        mark = sim.machine.clock.snapshot()
-        visits = list(trace.visits(4000))
-        for index, visit in enumerate(visits):
-            kernel.user_access(task, visit.ea, visit.lines, visit.write,
-                               visit.kind, first_line=visit.first_line)
-            if index % 40 == 39:
-                # The occasional framebuffer poke: rare enough that its
-                # TLB entries "are quickly displaced by other mappings".
-                kernel.machine.access_page(
-                    IO_BASE_EA + (index % 64) * PAGE_SIZE, 4, write=True
-                )
-        cycles = sim.machine.clock.since(mark)
-        return cycles, sim.machine.monitor.total_tlb_misses()
-
-    base_cycles, base_misses = run(False)
-    bat_cycles, bat_misses = run(True)
-    ratio = bat_cycles / base_cycles
-    lines = [
-        "E12 — §5.1 BAT-mapping the I/O space",
-        f"  without I/O BAT: {base_cycles} cycles, {base_misses} TLB misses",
-        f"  with I/O BAT:    {bat_cycles} cycles, {bat_misses} TLB misses",
-        f"  cycle ratio {ratio:.3f} "
-        "(paper: 'did not improve these measures significantly')",
-    ]
-    shape = 0.95 < ratio < 1.02
-    return ExperimentResult(
-        experiment="E12",
-        title="§5.1 I/O-space BAT mapping",
-        measured={"cycle_ratio": ratio, "tlb_misses_saved":
-                  base_misses - bat_misses},
-        paper={"cycle_ratio": 1.0},
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E13 — §6.2: removing the hash table (compile -5%)
-# ---------------------------------------------------------------------------
+    return _run("E12", machine=spec)
 
 
 def run_e13(units: int = 5) -> ExperimentResult:
     """§6.2: the no-htab 603 compile and the 603-vs-604 headline."""
-    opt = KernelConfig.optimized()
-    htab = kernel_compile(
-        boot(M603_180, opt.with_changes(use_htab_on_603=True)),
-        units=units, label="603 htab",
-    )
-    nohtab = kernel_compile(boot(M603_180, opt), units=units, label="603 no-htab")
-    m604 = kernel_compile(boot(M604_200, opt), units=units, label="604 200MHz")
-    ratio = nohtab.wall_ms / htab.wall_ms
-    vs604 = nohtab.wall_ms / m604.wall_ms
-    lines = [
-        "E13 — §6.2 removing the hash table on the 603 (kernel compile)",
-        f"  603@180 with htab emulation: {htab.wall_ms:8.1f} ms",
-        f"  603@180 direct PTE-tree:     {nohtab.wall_ms:8.1f} ms"
-        f"  (ratio {ratio:.3f}; paper -5% = 0.95)",
-        f"  604@200 (hardware walk):     {m604.wall_ms:8.1f} ms"
-        f"  (603 no-htab is {vs604:.2f}x of the 604@200's time)",
-    ]
-    shape = ratio < 1.0 and vs604 < 1.35
-    return ExperimentResult(
-        experiment="E13",
-        title="§6.2 no-htab compile",
-        measured={"compile_ratio": ratio, "vs_604_200": vs604},
-        paper={"compile_ratio": 0.95},
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E14 — §10.1 ablation: uncached idle task
-# ---------------------------------------------------------------------------
+    return _run("E13", units=units)
 
 
 def run_e14(spec: MachineSpec = M604_185) -> ExperimentResult:
     """§10.1: run the idle task cache-inhibited (future-work ablation)."""
-    normal = _pollution_run_with(
-        spec, KernelConfig.optimized().with_changes(
-            idle_page_clear=IdlePageClearPolicy.CACHED_LIST,
-            idle_zombie_reclaim=True,
-        )
-    )
-    uncached = _pollution_run_with(
-        spec, KernelConfig.optimized().with_changes(
-            idle_page_clear=IdlePageClearPolicy.CACHED_LIST,
-            idle_zombie_reclaim=True,
-            idle_uncached=True,
-        )
-    )
-    ratio = uncached / normal
-    lines = [
-        "E14 — §10.1 ablation: cache-inhibited idle task",
-        f"  idle cached:       busy {normal} cycles",
-        f"  idle cache-inhibited: busy {uncached} cycles (ratio {ratio:.3f})",
-        "  paper (conjecture): uncaching the idle task avoids polluting "
-        "the cache",
-    ]
-    shape = ratio < 1.0
-    return ExperimentResult(
-        experiment="E14",
-        title="§10.1 uncached idle task ablation",
-        measured={"busy_ratio": ratio},
-        paper={"busy_ratio": 1.0},
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-def _pollution_run_with(spec: MachineSpec, config: KernelConfig) -> int:
-    """E14 helper: the E10-A pollution run under an explicit config."""
-    sim = boot(spec, config)
-    executive = sim.executive
-
-    def factory(task):
-        def body(t):
-            trace = WorkingSetTrace(
-                0x01000000, 12, 0x10000000, 360, hot_fraction=0.9,
-                lines_per_visit=32, drift=0.0, seed=7,
-            )
-            for _ in range(3):
-                yield ("work", trace.visit_list(500))
-            yield ("mark", "e14_start")
-            for _ in range(10):
-                yield ("sleep", 900000)
-                yield ("work", trace.visit_list(500))
-            yield ("mark", "e14_end")
-
-        return body(task)
-
-    executive.spawn("steady", factory, data_pages=364)
-    sim.run()
-    total = executive.mark_deltas("e14_start", "e14_end")[0]
-    return total - 10 * 900000
-
-
-# ---------------------------------------------------------------------------
-# E15 — §10.2 ablation: cache preloads in the switch path
-# ---------------------------------------------------------------------------
+    return _run("E14", machine=spec)
 
 
 def run_e15(spec: MachineSpec = M604_185) -> ExperimentResult:
-    """§10.2: dcbt prefetches at context-switch entry (future work).
-
-    The preloads only matter when the user working sets have evicted the
-    switch path's data between switches, so the harness thrashes the L1
-    before each measured switch — the cache-hostile regime the paper's
-    conjecture targets.
-    """
-    from repro.params import KERNELBASE
-
-    def switch_cost(preload: bool) -> float:
-        config = KernelConfig.optimized().with_changes(cache_preloads=preload)
-        sim = boot(spec, config)
-        kernel = sim.kernel
-        first = kernel.spawn("a")
-        second = kernel.spawn("b")
-        kernel.switch_to(first)
-        total = 0
-        thrash_base = KERNELBASE + 4 * 1024 * 1024
-        for iteration in range(40):
-            # A user burst large enough to evict the kernel's switch
-            # data from the L1 (but not the L2).
-            for page in range(12):
-                sim.machine.access_page(
-                    thrash_base + page * PAGE_SIZE, lines=128, write=True
-                )
-            target = second if kernel.current_task is first else first
-            start = sim.machine.clock.snapshot()
-            kernel.switch_to(target)
-            total += sim.machine.clock.since(start)
-        return total / 40
-
-    base = switch_cost(False)
-    preloaded = switch_cost(True)
-    ratio = preloaded / base if base else 1.0
-    lines = [
-        "E15 — §10.2 ablation: cache preloads in the context-switch path",
-        f"  cache-cold switch cost: {base:6.1f} -> {preloaded:6.1f} cycles "
-        f"(ratio {ratio:.3f})",
-        "  paper (conjecture): 'we can make significant gains with "
-        "intelligent use of cache preloads in context switching'",
-    ]
-    shape = ratio < 0.99
-    return ExperimentResult(
-        experiment="E15",
-        title="§10.2 cache preloads ablation",
-        measured={"ctxsw8_ratio": ratio, "base_us": base,
-                  "preload_us": preloaded},
-        paper={"ctxsw8_ratio": 1.0},
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-# ---------------------------------------------------------------------------
-# E16 — §7 ablation: the rejected on-demand zombie scavenge
-# ---------------------------------------------------------------------------
+    """§10.2: dcbt prefetches at context-switch entry (future work)."""
+    return _run("E15", machine=spec)
 
 
 def run_e16(spec: MachineSpec = M604_185) -> ExperimentResult:
-    """§7's rejected design: scavenge zombies when space runs out.
+    """§7's rejected design: scavenge zombies when space runs out."""
+    return _run("E16", machine=spec)
 
-    The paper: "performance would also be inconsistent if we had to
-    occasionally scan the hash table and invalidate zombie PTEs when we
-    needed more space".  We measure per-access latency spikes under both
-    designs on a zombie-saturated table.
-    """
-
-    def latency_profile(config):
-        sim = boot(spec, config)
-        kernel = sim.kernel
-        htab = sim.machine.htab
-        task = kernel.spawn("churn", data_pages=120)
-        kernel.switch_to(task)
-        import random
-
-        rng = random.Random(11)
-        pages = list(range(0, 118, 2))
-        # Fill the table to the brink with zombie PTEs (context churn),
-        # so eviction pressure exists during the measured phase.  Stop at
-        # the first evict: under the on-demand design that evict already
-        # scavenged, and continuing would just oscillate.
-        while (
-            htab.valid_entries() < htab.slots - 40 and htab.evicts == 0
-        ):
-            for page in pages:
-                kernel.user_access(
-                    task, 0x10000000 + page * PAGE_SIZE, 1, True
-                )
-            kernel.flush.flush_mm(task.mm)
-        # Measured phase: random re-touches; each may trigger a reload,
-        # and periodic flushes keep the zombie supply growing.
-        samples = []
-        for index in range(5000):
-            page = pages[rng.randrange(len(pages))]
-            start = sim.machine.clock.snapshot()
-            kernel.user_access(task, 0x10000000 + page * PAGE_SIZE, 1, False)
-            samples.append(sim.machine.clock.since(start))
-            if index % 100 == 99:
-                kernel.flush.flush_mm(task.mm)
-        samples.sort()
-        mean = sum(samples) / len(samples)
-        p99 = samples[int(len(samples) * 0.99)]
-        worst = samples[-1]
-        bursts = sim.machine.monitor.get("scavenge_burst")
-        return mean, p99, worst, bursts
-
-    idle_cfg = KernelConfig.optimized()
-    demand_cfg = KernelConfig.optimized().with_changes(
-        idle_zombie_reclaim=False, on_demand_scavenge=True
-    )
-    idle_mean, idle_p99, idle_worst, _ = latency_profile(idle_cfg)
-    dem_mean, dem_p99, dem_worst, bursts = latency_profile(demand_cfg)
-    lines = [
-        "E16 — §7 ablation: rejected on-demand zombie scavenging",
-        f"  {'':<22}{'mean':>8}{'p99':>8}{'worst':>8}  (cycles/access)",
-        f"  {'idle-task reclaim':<22}{idle_mean:8.1f}{idle_p99:8d}"
-        f"{idle_worst:8d}",
-        f"  {'on-demand scavenge':<22}{dem_mean:8.1f}{dem_p99:8d}"
-        f"{dem_worst:8d}   ({bursts} scavenge bursts)",
-        "  paper: the on-demand design was rejected because performance "
-        "'would be inconsistent'",
-    ]
-    shape = dem_worst > 3 * idle_worst and bursts > 0
-    return ExperimentResult(
-        experiment="E16",
-        title="§7 rejected on-demand scavenge ablation",
-        measured={
-            "idle_worst": idle_worst,
-            "demand_worst": dem_worst,
-            "idle_p99": idle_p99,
-            "demand_p99": dem_p99,
-            "scavenge_bursts": bursts,
-        },
-        paper={"inconsistency": "worst-case latency spikes"},
-        shape_holds=shape,
-        report=_report(lines),
-    )
-
-
-# ---------------------------------------------------------------------------
-# Registry
-# ---------------------------------------------------------------------------
 
 #: Experiment id -> runner, as indexed in DESIGN.md.
 REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
@@ -1225,7 +184,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
 
 def sorted_ids() -> List[str]:
     """Registry IDs in numeric order (E1, E2, ..., E16)."""
-    return sorted(REGISTRY, key=_experiment_sort_key)
+    return sorted(REGISTRY, key=experiment_sort_key)
 
 
 def run_all(ids: Optional[List[str]] = None) -> List[ExperimentResult]:
@@ -1237,4 +196,4 @@ def run_all(ids: Optional[List[str]] = None) -> List[ExperimentResult]:
 
 
 def _experiment_sort_key(experiment_id: str) -> int:
-    return int(experiment_id[1:])
+    return experiment_sort_key(experiment_id)

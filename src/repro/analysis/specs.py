@@ -1,0 +1,1539 @@
+"""The declarative experiment registry (DESIGN.md's E1..E16).
+
+Each entry in :data:`SPECS` is an :class:`ExperimentSpec` — the
+machine/config matrix one paper result needs, the workload that
+measures it, and the shape predicate over the measured numbers.  The
+engine (:mod:`repro.analysis.engine`) executes them all through one
+path; :mod:`repro.analysis.experiments` keeps the old ``run_eN``
+surface as thin wrappers over these specs.
+
+Shape checks, not absolute checks: the substrate is a simulator, so
+each spec's ``shape`` is "the paper's qualitative claim is true of the
+measured numbers" (who wins, roughly by how much, where the crossover
+sits).  Shapes read only the measured dict, so a cached (JSON
+round-tripped) result reproduces the same verdict.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.spec import (
+    ConfigVariant,
+    ExperimentSpec,
+    MatrixSpec,
+    Measurement,
+    experiment_sort_key,
+)
+from repro.hw.addr import decompose_ea, make_virtual_address
+from repro.hw.hashtable import primary_hash, secondary_hash
+from repro.kernel.config import IdlePageClearPolicy, KernelConfig, VsidPolicy
+from repro.params import (
+    HTAB_PTE_SLOTS,
+    M603_133,
+    M603_180,
+    M604_133,
+    M604_185,
+    M604_200,
+    MachineSpec,
+    PAGE_SIZE,
+)
+from repro.perf.histogram import occupancy_histogram
+from repro.sim.simulator import Simulator, boot
+from repro.sim.trace import WorkingSetTrace
+from repro.workloads.kbuild import CACHE_RESIDENT, kernel_compile
+from repro.workloads.lmbench import (
+    LmbenchResult,
+    context_switch,
+    lmbench_suite,
+    mmap_latency,
+    pipe_latency,
+)
+from repro.workloads.mixes import multiprogram_mix
+
+
+# ---------------------------------------------------------------------------
+# E1 — Figure 1: the translation datapath
+# ---------------------------------------------------------------------------
+
+
+def _measure_e1(
+    spec: ExperimentSpec, ea: int = 0x30012ABC, vsid: int = 0x123456
+) -> Measurement:
+    """Figure 1: decompose one EA through the architected datapath."""
+    variant = spec.variants[0]
+    fields = decompose_ea(ea)
+    va = make_virtual_address(vsid, ea)
+    h1 = primary_hash(vsid, fields.page_index)
+    h2 = secondary_hash(vsid, fields.page_index)
+    sim = boot(variant.machine, variant.config)
+    task = sim.kernel.spawn("fig1", data_pages=8)
+    sim.kernel.switch_to(task)
+    result = sim.machine.translate(0x10000000)
+    lines = [
+        "Figure 1 — PowerPC hash-table translation",
+        f"  EA        0x{ea:08x}",
+        f"  SR#       {fields.segment} (4 bits)",
+        f"  page idx  0x{fields.page_index:04x} (16 bits)",
+        f"  offset    0x{fields.offset:03x} (12 bits)",
+        f"  VSID      0x{vsid:06x} (24 bits)",
+        f"  VA        0x{va.value:013x} (52 bits)",
+        f"  hash1     0x{h1:05x}   hash2 0x{h2:05x}",
+        f"  live translation path: {result.path}, PA 0x{result.pa:08x}",
+    ]
+    measured = {
+        "segment": fields.segment,
+        "page_index": fields.page_index,
+        "offset": fields.offset,
+        "va_bits": va.value.bit_length(),
+        "live_path": result.path,
+        "ea": ea,
+        "hash1": h1,
+        "hash2": h2,
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e1(m: Dict[str, object]) -> bool:
+    return bool(
+        m["segment"] == (m["ea"] >> 28)  # type: ignore[operator]
+        and m["va_bits"] <= 52  # type: ignore[operator]
+        and m["hash2"] == (~m["hash1"]) & ((1 << 19) - 1)  # type: ignore[operator]
+    )
+
+
+# ---------------------------------------------------------------------------
+# E2 — §5.1: BAT-mapping the kernel
+# ---------------------------------------------------------------------------
+
+
+def _measure_e2(spec: ExperimentSpec, units: int = 6) -> Measurement:
+    """§5.1: kernel BAT map vs PTE-mapped kernel on the compile."""
+    no_bat, with_bat = spec.variants
+    base = kernel_compile(
+        boot(no_bat.machine, no_bat.config), units=units, label=no_bat.label
+    )
+    bat = kernel_compile(
+        boot(with_bat.machine, with_bat.config), units=units, label=with_bat.label
+    )
+    tlb_ratio = bat.tlb_misses / max(base.tlb_misses, 1)
+    htab_ratio = bat.htab_misses / max(base.htab_misses, 1)
+    wall_ratio = bat.wall_ms / base.wall_ms
+    lines = [
+        "E2 — §5.1 BAT-mapping the kernel (kernel compile)",
+        f"  TLB misses      {base.tlb_misses} -> {bat.tlb_misses}"
+        f"  (ratio {tlb_ratio:.2f}; paper 219M -> 197M = 0.90)",
+        f"  htab misses     {base.htab_misses} -> {bat.htab_misses}"
+        f"  (ratio {htab_ratio:.2f}; paper 1M -> 813k = 0.81)",
+        f"  kernel TLB slots (high water) {base.kernel_tlb_entries_high_water}"
+        f" -> {bat.kernel_tlb_entries_high_water} (paper: ~1/3 of TLB -> <=4)",
+        f"  wall            {base.wall_ms:.1f} -> {bat.wall_ms:.1f} ms"
+        f"  (ratio {wall_ratio:.2f}; paper 10min -> 8min = 0.80)",
+        f"  [trace scale 1/{base.trace_scale}: full-compile equivalents "
+        f"{base.full_scale_tlb_misses / 1e6:.0f}M -> "
+        f"{bat.full_scale_tlb_misses / 1e6:.0f}M TLB misses, "
+        f"{base.full_scale_wall_minutes:.1f} -> "
+        f"{bat.full_scale_wall_minutes:.1f} min]",
+    ]
+    measured = {
+        "tlb_ratio": tlb_ratio,
+        "htab_ratio": htab_ratio,
+        "kernel_tlb_slots_after": bat.kernel_tlb_entries_high_water,
+        "wall_ratio": wall_ratio,
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e2(m: Dict[str, object]) -> bool:
+    return bool(
+        m["tlb_ratio"] < 1.0  # type: ignore[operator]
+        and m["htab_ratio"] <= 1.0  # type: ignore[operator]
+        and m["kernel_tlb_slots_after"] <= 4  # type: ignore[operator]
+        and m["wall_ratio"] <= 1.02  # type: ignore[operator]
+    )
+
+
+# ---------------------------------------------------------------------------
+# E3 — §5.2: VSID scatter and hash-table occupancy
+# ---------------------------------------------------------------------------
+
+
+def _fill_htab(sim: Simulator, processes: int, pages: int) -> None:
+    """Fault ``pages`` pages in each of ``processes`` address spaces.
+
+    Most of each address space is a *shared* library mapping — the same
+    physical frames mapped by every process under its own VSIDs, which
+    is how a 32 MB machine generates far more PTEs than it has frames
+    (each mapping needs its own hash-table entry).
+    """
+    kernel = sim.kernel
+    anon_pages = max(pages // 6, 1)
+    shared_pages = pages - anon_pages
+    kernel.fs.create("shlib.so", shared_pages * PAGE_SIZE, wired=True)
+    kernel.fs.prefault("shlib.so")
+    for index in range(processes):
+        task = kernel.spawn(
+            f"fill{index}", text_pages=8, data_pages=anon_pages + 2
+        )
+        kernel.scheduler.enqueue(task)
+        kernel.switch_to(task)
+        for page in range(anon_pages):
+            kernel.user_access(task, 0x10000000 + page * PAGE_SIZE, 1, True)
+        lib = kernel.sys_mmap(
+            task, shared_pages * PAGE_SIZE, file="shlib.so", writable=False
+        )
+        for page in range(shared_pages):
+            kernel.user_access(task, lib + page * PAGE_SIZE, 1, False)
+
+
+def _measure_e3(
+    spec: ExperimentSpec, processes: int = 40, pages_per_process: int = 500
+) -> Measurement:
+    """§5.2: hash occupancy for power-of-two vs scattered VSIDs vs BAT."""
+    rows = []
+    occupancies = {}
+    for variant in spec.variants:
+        sim = boot(variant.machine, variant.config)
+        _fill_htab(sim, processes, pages_per_process)
+        htab = sim.machine.htab
+        histogram = occupancy_histogram(htab)
+        occupancy = htab.occupancy()
+        occupancies[variant.label] = occupancy
+        rows.append(
+            f"  {variant.label:<40} occupancy {occupancy:5.1%}"
+            f"  evicts {htab.evicts:6d}"
+            f"  hot-spot ratio {histogram.hot_spot_ratio():4.1f}"
+            f"  entropy {histogram.entropy_efficiency():4.2f}"
+        )
+    lines = [
+        "E3 — §5.2 VSID scatter tuning "
+        f"({processes} procs x {pages_per_process} pages, "
+        f"{processes * pages_per_process} inserts into {HTAB_PTE_SLOTS} slots)",
+        *rows,
+        "  paper: 37% (naive) -> 57% (scattered) -> 75% (kernel PTEs removed)",
+    ]
+    return Measurement(dict(occupancies), lines)
+
+
+def _shape_e3(m: Dict[str, object]) -> bool:
+    # The ladder: each scatter improvement raises occupancy; the BAT
+    # variant must not regress it.
+    values: List[float] = list(m.values())  # type: ignore[arg-type]
+    return bool(
+        values[0] < values[1] < values[2]
+        and values[3] >= values[2] - 0.02
+    )
+
+
+# ---------------------------------------------------------------------------
+# E4 — §6.1: fast (assembly) miss handlers
+# ---------------------------------------------------------------------------
+
+
+def _measure_e4(spec: ExperimentSpec) -> Measurement:
+    """§6.1: C handlers vs hand-scheduled assembly handlers."""
+    c_variant, asm_variant = spec.variants
+    machine = c_variant.machine
+    slow, fast = c_variant.config, asm_variant.config
+    ctx_slow = context_switch(boot(machine, slow))
+    ctx_fast = context_switch(boot(machine, fast))
+    lat_slow = pipe_latency(boot(machine, slow))
+    lat_fast = pipe_latency(boot(machine, fast))
+    wall_slow = kernel_compile(
+        boot(machine, slow), units=4, label=c_variant.label
+    ).wall_ms
+    wall_fast = kernel_compile(
+        boot(machine, fast), units=4, label=asm_variant.label
+    ).wall_ms
+    ctx_ratio = ctx_fast / ctx_slow
+    lat_ratio = lat_fast / lat_slow
+    wall_ratio = wall_fast / wall_slow
+    lines = [
+        "E4 — §6.1 fast TLB reload handlers",
+        f"  context switch {ctx_slow:6.1f} -> {ctx_fast:6.1f} us"
+        f"  (ratio {ctx_ratio:.2f}; paper -33% = 0.67)",
+        f"  pipe latency   {lat_slow:6.1f} -> {lat_fast:6.1f} us"
+        f"  (ratio {lat_ratio:.2f}; paper -15% = 0.85)",
+        f"  compile wall   {wall_slow:6.1f} -> {wall_fast:6.1f} ms"
+        f"  (ratio {wall_ratio:.2f}; paper ~-15% = 0.85)",
+    ]
+    measured = {
+        "ctxsw_ratio": ctx_ratio,
+        "pipe_latency_ratio": lat_ratio,
+        "compile_ratio": wall_ratio,
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e4(m: Dict[str, object]) -> bool:
+    return bool(
+        m["ctxsw_ratio"] < 0.8  # type: ignore[operator]
+        and m["pipe_latency_ratio"] < 0.92  # type: ignore[operator]
+        and m["compile_ratio"] < 1.0  # type: ignore[operator]
+    )
+
+
+# ---------------------------------------------------------------------------
+# E5 — Table 1: removing the hash table on the 603
+# ---------------------------------------------------------------------------
+
+#: The paper's Table 1 cells.
+PAPER_TABLE1 = {
+    "603 180MHz (htab)": dict(pstart=1.8, ctxsw=4, pipelat=17, pipebw=69, reread=33),
+    "603 180MHz (no htab)": dict(pstart=1.7, ctxsw=3, pipelat=19, pipebw=73, reread=36),
+    "604 185MHz": dict(pstart=1.6, ctxsw=4, pipelat=21, pipebw=88, reread=39),
+    "604 200MHz": dict(pstart=1.6, ctxsw=4, pipelat=20, pipebw=92, reread=41),
+}
+
+
+def _measure_e5(spec: ExperimentSpec) -> Measurement:
+    """Table 1: LmBench summary for direct (no-htab) TLB reloads."""
+    results: List[LmbenchResult] = []
+    for variant in spec.variants:
+        results.append(
+            lmbench_suite(
+                lambda v=variant: boot(v.machine, v.config),
+                label=variant.label,
+                points=(
+                    "ctxsw",
+                    "pipe_latency",
+                    "pipe_bw",
+                    "file_reread",
+                    "process_start",
+                ),
+            )
+        )
+    lines = ["E5 — Table 1: LmBench summary (htab vs no-htab on the 603)"]
+    for result in results:
+        paper = PAPER_TABLE1[result.label]
+        lines.append(
+            f"  {result.label:<22}"
+            f" pstart {result.process_start_ms:5.2f} ms ({paper['pstart']})"
+            f"  ctxsw {result.ctxsw_us:5.1f} us ({paper['ctxsw']})"
+            f"  pipe lat {result.pipe_latency_us:5.1f} us ({paper['pipelat']})"
+            f"  pipe bw {result.pipe_bw_mb_s:5.1f} ({paper['pipebw']})"
+            f"  reread {result.file_reread_mb_s:5.1f} ({paper['reread']})"
+        )
+    lines.append("  (parenthesized: paper values)")
+    measured = {
+        result.label: {
+            "pstart_ms": result.process_start_ms,
+            "ctxsw_us": result.ctxsw_us,
+            "pipe_lat_us": result.pipe_latency_us,
+            "pipe_bw": result.pipe_bw_mb_s,
+            "reread": result.file_reread_mb_s,
+        }
+        for result in results
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e5(m: Dict[str, object]) -> bool:
+    # The paper's headline: the 180MHz 603 keeps pace with the 604s.
+    m603: Dict[str, float] = m["603 180MHz (no htab)"]  # type: ignore[assignment]
+    m603_htab: Dict[str, float] = m["603 180MHz (htab)"]  # type: ignore[assignment]
+    m604: Dict[str, float] = m["604 185MHz"]  # type: ignore[assignment]
+    return bool(
+        m603["pipe_bw"] >= 0.75 * m604["pipe_bw"]
+        and m603["ctxsw_us"] <= 1.6 * m604["ctxsw_us"]
+        and m603["pstart_ms"] <= m603_htab["pstart_ms"]
+    )
+
+
+# ---------------------------------------------------------------------------
+# E6 — Table 2: lazy flushes + tunable range flushing
+# ---------------------------------------------------------------------------
+
+PAPER_TABLE2 = {
+    "603 133MHz": dict(mmap=3240, ctxsw=6, pipelat=34, pipebw=52, reread=26),
+    "603 133MHz (lazy)": dict(mmap=41, ctxsw=6, pipelat=28, pipebw=57, reread=32),
+    "604 185MHz": dict(mmap=2733, ctxsw=4, pipelat=22, pipebw=90, reread=38),
+    "604 185MHz (tune)": dict(mmap=33, ctxsw=4, pipelat=21, pipebw=94, reread=41),
+}
+
+
+def _measure_e6(spec: ExperimentSpec) -> Measurement:
+    """Table 2: search-flushing vs lazy VSID flushing."""
+    results = []
+    for variant in spec.variants:
+        results.append(
+            lmbench_suite(
+                lambda v=variant: boot(v.machine, v.config),
+                label=variant.label,
+                points=("mmap_latency", "ctxsw", "pipe_latency", "pipe_bw",
+                        "file_reread"),
+            )
+        )
+    lines = ["E6 — Table 2: LmBench summary for tunable TLB range flushing"]
+    for result in results:
+        paper = PAPER_TABLE2[result.label]
+        lines.append(
+            f"  {result.label:<20}"
+            f" mmap {result.mmap_latency_us:7.1f} us ({paper['mmap']})"
+            f"  ctxsw {result.ctxsw_us:5.1f} ({paper['ctxsw']})"
+            f"  pipe lat {result.pipe_latency_us:5.1f} ({paper['pipelat']})"
+            f"  pipe bw {result.pipe_bw_mb_s:5.1f} ({paper['pipebw']})"
+            f"  reread {result.file_reread_mb_s:5.1f} ({paper['reread']})"
+        )
+    lines.append("  (parenthesized: paper values)")
+    by_label = {result.label: result for result in results}
+    improvement_603 = (
+        by_label["603 133MHz"].mmap_latency_us
+        / by_label["603 133MHz (lazy)"].mmap_latency_us
+    )
+    improvement_604 = (
+        by_label["604 185MHz"].mmap_latency_us
+        / by_label["604 185MHz (tune)"].mmap_latency_us
+    )
+    lines.append(
+        f"  mmap improvement: 603 {improvement_603:.0f}x (paper 79x), "
+        f"604 {improvement_604:.0f}x (paper 83x)"
+    )
+    measured = {
+        "mmap_improvement_603": improvement_603,
+        "mmap_improvement_604": improvement_604,
+        "rows": {
+            label: {
+                "mmap_us": result.mmap_latency_us,
+                "pipe_bw": result.pipe_bw_mb_s,
+            }
+            for label, result in by_label.items()
+        },
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e6(m: Dict[str, object]) -> bool:
+    return bool(
+        m["mmap_improvement_603"] > 40  # type: ignore[operator]
+        and m["mmap_improvement_604"] > 40  # type: ignore[operator]
+    )
+
+
+# ---------------------------------------------------------------------------
+# E7 — §7: idle-task zombie reclaim
+# ---------------------------------------------------------------------------
+
+
+def _measure_e7(
+    spec: ExperimentSpec,
+    rounds: int = 150,
+    churn_every: int = 6,
+    think_cycles: int = 120000,
+) -> Measurement:
+    """§7: zombie PTE reclaim in the idle task."""
+    base_variant, reclaim_variant = spec.variants
+    no_reclaim = multiprogram_mix(
+        boot(base_variant.machine, base_variant.config),
+        rounds=rounds, churn_every=churn_every, think_cycles=think_cycles,
+        label=base_variant.label,
+    )
+    reclaim = multiprogram_mix(
+        boot(reclaim_variant.machine, reclaim_variant.config),
+        rounds=rounds, churn_every=churn_every, think_cycles=think_cycles,
+        label=reclaim_variant.label,
+    )
+    lines = [
+        "E7 — §7 idle-task zombie reclaim (multiprogramming mix)",
+        f"  {'':<14}{'valid':>8}{'live':>8}{'zombie':>8}"
+        f"{'evict/reload':>14}{'htab hit':>10}",
+        f"  {'no reclaim':<14}{no_reclaim.valid_entries:8.0f}"
+        f"{no_reclaim.live_entries:8.0f}{no_reclaim.zombie_entries:8.0f}"
+        f"{no_reclaim.evict_ratio:14.2f}{no_reclaim.htab_hit_rate:10.2f}",
+        f"  {'reclaim':<14}{reclaim.valid_entries:8.0f}"
+        f"{reclaim.live_entries:8.0f}{reclaim.zombie_entries:8.0f}"
+        f"{reclaim.evict_ratio:14.2f}{reclaim.htab_hit_rate:10.2f}",
+        f"  zombies reclaimed: {reclaim.zombies_reclaimed}",
+        "  paper: table fills with zombies; evict ratio >90% -> ~30%;",
+        "  occupancy 600-700 -> 1400-2200 of 16384; hit rate 85% -> 98%",
+    ]
+    measured = {
+        "evict_ratio_before": no_reclaim.evict_ratio,
+        "evict_ratio_after": reclaim.evict_ratio,
+        "valid_before": no_reclaim.valid_entries,
+        "valid_after": reclaim.valid_entries,
+        "hit_rate_before": no_reclaim.htab_hit_rate,
+        "hit_rate_after": reclaim.htab_hit_rate,
+        "zombies_reclaimed": reclaim.zombies_reclaimed,
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e7(m: Dict[str, object]) -> bool:
+    return bool(
+        m["valid_before"] > 0.85 * HTAB_PTE_SLOTS  # type: ignore[operator]
+        and m["valid_after"] < 0.6 * m["valid_before"]  # type: ignore[operator]
+        and m["evict_ratio_after"]  # type: ignore[operator]
+        < 0.5 * max(m["evict_ratio_before"], 1e-9)  # type: ignore[type-var]
+        and m["zombies_reclaimed"] > 0  # type: ignore[operator]
+    )
+
+
+# ---------------------------------------------------------------------------
+# E8 — §7: the range-flush cutoff
+# ---------------------------------------------------------------------------
+
+
+def _e8_workload(sim: Simulator, region_pages: int, iterations: int = 8):
+    """Map a region, touch part of it, unmap — measuring the pair cost."""
+    kernel = sim.kernel
+    executive = sim.executive
+    kernel.fs.create(f"map{region_pages}.dat", region_pages * PAGE_SIZE)
+    touched = min(region_pages, 16)
+
+    def factory(task):
+        def body(t):
+            for index in range(iterations + 1):
+                if index == 1:
+                    yield ("mark", "e8_start")
+                addr = yield ("mmap", region_pages * PAGE_SIZE,
+                              f"map{region_pages}.dat", None)
+                for page in range(touched):
+                    step = max(region_pages // touched, 1)
+                    yield ("touch", addr + page * step * PAGE_SIZE, 4, False)
+                yield ("munmap", addr, region_pages * PAGE_SIZE)
+            yield ("mark", "e8_end")
+
+        return body(task)
+
+    executive.spawn("e8", factory)
+    sim.run()
+    delta = executive.mark_deltas("e8_start", "e8_end")[0]
+    return (
+        sim.cycles_to_us(delta / iterations),
+        sim.machine.monitor.total_tlb_misses(),
+    )
+
+
+def _measure_e8(spec: ExperimentSpec) -> Measurement:
+    """§7: sweep the range-flush cutoff; mmap latency and TLB misses."""
+    large_pages = 1024  # the lat_mmap-style 4 MB region
+    small_pages = 8  # under the tuned cutoff
+    sweep = []
+    for variant in spec.variants:
+        # Pure lat_mmap (untouched region: the paper's 80x number) plus
+        # a touched variant so the TLB-miss comparison is meaningful.
+        pure_us = mmap_latency(boot(variant.machine, variant.config))
+        large_us, large_misses = _e8_workload(
+            boot(variant.machine, variant.config), large_pages
+        )
+        small_us, _ = _e8_workload(
+            boot(variant.machine, variant.config), small_pages
+        )
+        sweep.append((variant.label, pure_us, large_us, small_us, large_misses))
+    lines = [
+        "E8 — §7 tunable range-flush cutoff",
+        f"  {'':<20}{'lat_mmap 4MB':>14}{'4MB touched':>14}"
+        f"{'32KB touched':>14}{'TLB misses':>12}",
+    ]
+    for label, pure_us, large_us, small_us, misses in sweep:
+        lines.append(
+            f"  {label:<20}{pure_us:11.1f} us{large_us:11.1f} us"
+            f"{small_us:11.1f} us{misses:12d}"
+        )
+    lines.append(
+        "  paper: cutoff 20 pages -> mmap latency 80x better, "
+        "'at no cost to the TLB hit rate'"
+    )
+    by_label = {entry[0]: entry for entry in sweep}
+    search = by_label["search (no lazy)"]
+    tuned = by_label["cutoff 20 (tuned)"]
+    infinite = by_label["cutoff inf"]
+    improvement = search[1] / tuned[1]
+    measured = {
+        "search_us": search[1],
+        "cutoff20_us": tuned[1],
+        "improvement": improvement,
+        "misses_search": search[4],
+        "misses_cutoff20": tuned[4],
+        "small_region_search_us": search[3],
+        "small_region_cutoff20_us": tuned[3],
+        "cutoff_inf_us": infinite[1],
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e8(m: Dict[str, object]) -> bool:
+    return bool(
+        m["improvement"] > 40  # type: ignore[operator] # the 80x-class improvement on big ranges
+        and m["cutoff_inf_us"] > 5 * m["cutoff20_us"]  # type: ignore[operator] # no cutoff -> back to search cost
+        and m["misses_cutoff20"] <= m["misses_search"] * 1.10  # type: ignore[operator] # no extra TLB misses
+        and m["small_region_cutoff20_us"]  # type: ignore[operator]
+        <= m["small_region_search_us"] * 1.25  # type: ignore[operator] # small ranges stay cheap
+    )
+
+
+# ---------------------------------------------------------------------------
+# E9 — §8: cache misuse on page tables
+# ---------------------------------------------------------------------------
+
+
+def _measure_e9(spec: ExperimentSpec) -> Measurement:
+    """§8: memory accesses and cache lines created by the refill path."""
+    # Part 1: count the architected worst case on one cold miss.
+    cold, cached_variant, uncached_variant = spec.variants
+    sim = boot(cold.machine, cold.config)
+    kernel = sim.kernel
+    task = kernel.spawn("e9", data_pages=4)
+    kernel.switch_to(task)
+    # Fault the page in (so the Linux PTE exists), then flush everything
+    # so the next access walks hash table (miss) + PTE tree + reinsert.
+    kernel.user_access(task, 0x10000000, 1, True)
+    sim.machine.htab.invalidate_all()
+    sim.machine.invalidate_tlbs()
+    # Cold caches: the paper's counting assumes the PTEG and PTE-tree
+    # lines are not already resident.
+    sim.machine.dcache.flush_all()
+    sim.machine.l2.flush_all()
+    misses_before = sim.machine.dcache.stats.misses
+    kernel.user_access(task, 0x10000000, 1, False)
+    # Each data-cache miss on the refill path creates one new line.
+    new_lines = sim.machine.dcache.stats.misses - misses_before
+    # Architected accounting (§8): 16 (search+miss) + 2..3 (tree) + up
+    # to 16 (insert scan) = ~34 memory accesses.
+    search_refs = 16  # both PTEGs probed on the miss
+    tree_refs = 3
+    insert_refs = 16  # worst case scan of both PTEGs
+    worst_case = search_refs + tree_refs + insert_refs
+
+    # Part 2: cached vs uncached page tables on a TLB-heavy workload.
+    def storm(variant: ConfigVariant):
+        sim = boot(variant.machine, variant.config)
+        kernel = sim.kernel
+        task = kernel.spawn("storm", data_pages=402)
+        kernel.switch_to(task)
+        trace = WorkingSetTrace(
+            0x01000000, 12, 0x10000000, 400, hot_fraction=1.0,
+            lines_per_visit=4, seed=3,
+        )
+        mark = sim.machine.clock.snapshot()
+        for visit in trace.visits(12000):
+            kernel.user_access(task, visit.ea, visit.lines, visit.write,
+                               visit.kind, first_line=visit.first_line)
+        cycles = sim.machine.clock.since(mark)
+        return cycles, sim.machine.dcache.stats.misses
+
+    cached_cycles, cached_misses = storm(cached_variant)
+    uncached_cycles, uncached_misses = storm(uncached_variant)
+    lines = [
+        "E9 — §8 cache misuse on page tables",
+        f"  cold refill path: {worst_case} architected memory accesses "
+        "(16 search + 3 tree + 16 insert; paper: 34)",
+        f"  new data-cache lines created by one refill: {new_lines} "
+        "(paper: up to 18)",
+        f"  TLB-storm with cached page tables:   {cached_cycles} cycles, "
+        f"{cached_misses} dcache misses",
+        f"  TLB-storm with uncached page tables: {uncached_cycles} cycles, "
+        f"{uncached_misses} dcache misses",
+        f"  dcache misses saved by uncaching page tables: "
+        f"{cached_misses - uncached_misses}",
+    ]
+    measured = {
+        "worst_case_refs": worst_case,
+        "new_cache_lines_per_refill": new_lines,
+        "storm_cached_misses": cached_misses,
+        "storm_uncached_misses": uncached_misses,
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e9(m: Dict[str, object]) -> bool:
+    return bool(
+        m["new_cache_lines_per_refill"] <= 18  # type: ignore[operator]
+        and m["storm_uncached_misses"] < m["storm_cached_misses"]  # type: ignore[operator]
+    )
+
+
+# ---------------------------------------------------------------------------
+# E10 — §9: idle-task page clearing
+# ---------------------------------------------------------------------------
+
+
+def _pollution_busy(
+    machine: MachineSpec, config: KernelConfig, mark_prefix: str = "poll"
+) -> int:
+    """Steady working set + idle windows under one clearing config.
+
+    Sub-experiment A of E10 (and, with ``mark_prefix='e14'``, the E14
+    ablation's harness): warm to steady state, then measure rounds of
+    work separated by think-time (idle windows).
+    """
+    sim = boot(machine, config)
+    executive = sim.executive
+    start_mark = f"{mark_prefix}_start"
+    end_mark = f"{mark_prefix}_end"
+
+    def factory(task):
+        def body(t):
+            trace = WorkingSetTrace(
+                0x01000000, 12, 0x10000000, 360, hot_fraction=0.9,
+                lines_per_visit=32, drift=0.0, seed=7,
+            )
+            # Warm up to steady state, then measure rounds of work with
+            # think-time (idle windows) between them.
+            for _ in range(3):
+                yield ("work", trace.visit_list(500))
+            yield ("mark", start_mark)
+            for _ in range(10):
+                yield ("sleep", 900000)
+                yield ("work", trace.visit_list(500))
+            yield ("mark", end_mark)
+
+        return body(task)
+
+    executive.spawn("steady", factory, data_pages=364)
+    sim.run()
+    total = executive.mark_deltas(start_mark, end_mark)[0]
+    # The sleeps themselves are constant; compare busy time.
+    return total - 10 * 900000
+
+
+def _measure_e10(spec: ExperimentSpec, units: int = 5) -> Measurement:
+    """§9: the three page-clearing variants vs the baseline."""
+    # Sub-experiment A: pollution (low allocation, idle-heavy).
+    busy = {}
+    for variant in spec.variants:
+        busy[variant.label] = _pollution_busy(variant.machine, variant.config)
+    # Sub-experiment B: allocation-heavy compile.
+    walls = {}
+    for variant in spec.variants:
+        config = variant.config.with_changes(idle_zombie_reclaim=True)
+        result = kernel_compile(
+            boot(variant.machine, config), units=units, profile=CACHE_RESIDENT,
+            label=variant.label,
+        )
+        walls[variant.label] = result.wall_ms
+    off = IdlePageClearPolicy.OFF.value
+    lines = [
+        "E10 — §9 idle-task page clearing",
+        "  A: steady working set, idle windows (pollution regime); "
+        "busy cycles relative to OFF:",
+    ]
+    for label, value in busy.items():
+        lines.append(
+            f"    {label:<18} {value:10d} ({value / busy[off]:.3f}x)"
+        )
+    lines.append(
+        "  B: allocation-heavy compile (pre-clear benefit regime); "
+        "wall ms relative to OFF:"
+    )
+    for label, value in walls.items():
+        lines.append(
+            f"    {label:<18} {value:10.1f} ({value / walls[off]:.3f}x)"
+        )
+    lines.append(
+        "  paper: cached+list ~2x slower; uncached w/o list: no change; "
+        "uncached+list: faster"
+    )
+    measured = {
+        "pollution_cached_ratio":
+            busy[IdlePageClearPolicy.CACHED_LIST.value] / busy[off],
+        "pollution_uncached_nolist_ratio":
+            busy[IdlePageClearPolicy.UNCACHED_NO_LIST.value] / busy[off],
+        "compile_uncached_list_ratio":
+            walls[IdlePageClearPolicy.UNCACHED_LIST.value] / walls[off],
+        "compile_uncached_nolist_ratio":
+            walls[IdlePageClearPolicy.UNCACHED_NO_LIST.value] / walls[off],
+        "compile_cached_ratio":
+            walls[IdlePageClearPolicy.CACHED_LIST.value] / walls[off],
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e10(m: Dict[str, object]) -> bool:
+    return bool(
+        m["pollution_cached_ratio"] > 1.05  # type: ignore[operator] # cached clearing hurts
+        and 0.97 < m["pollution_uncached_nolist_ratio"] < 1.03  # type: ignore[operator] # uncached w/o list: no change
+        and m["compile_uncached_list_ratio"] < 0.97  # type: ignore[operator] # uncached + list wins
+        and 0.97 < m["compile_uncached_nolist_ratio"] < 1.03  # type: ignore[operator]
+    )
+
+
+# ---------------------------------------------------------------------------
+# E11 — Table 3: OS comparison
+# ---------------------------------------------------------------------------
+
+
+def _measure_e11(spec: ExperimentSpec) -> Measurement:
+    """Table 3: Linux/PPC vs unoptimized vs Rhapsody vs MkLinux vs AIX."""
+    from repro.oscompare.runner import PAPER_TABLE3, run_table3
+
+    rows = run_table3()
+    lines = ["E11 — Table 3: LmBench summary for Linux/PPC and other OSes"]
+    for row in rows:
+        paper = PAPER_TABLE3[row.os]
+        lines.append(
+            f"  {row.os:<22} null {row.null_syscall_us:5.1f} ({paper[0]:2d})"
+            f"  ctxsw {row.ctxsw_us:5.1f} ({paper[1]:2d})"
+            f"  pipe lat {row.pipe_latency_us:6.1f} ({paper[2]:3d})"
+            f"  pipe bw {row.pipe_bw_mb_s:5.1f} ({paper[3]:2d})"
+        )
+    lines.append("  (parenthesized: paper values; all on a 133MHz 604)")
+    measured = {
+        row.os: {
+            "null_us": row.null_syscall_us,
+            "ctxsw_us": row.ctxsw_us,
+            "pipe_lat_us": row.pipe_latency_us,
+            "pipe_bw": row.pipe_bw_mb_s,
+        }
+        for row in rows
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e11(m: Dict[str, object]) -> bool:
+    linux: Dict[str, float] = m["Linux/PPC"]  # type: ignore[assignment]
+    return all(
+        linux["null_us"] < other["null_us"]  # type: ignore[index]
+        and linux["ctxsw_us"] < other["ctxsw_us"]  # type: ignore[index]
+        and linux["pipe_lat_us"] < other["pipe_lat_us"]  # type: ignore[index]
+        and linux["pipe_bw"] > other["pipe_bw"]  # type: ignore[index]
+        for os_name, other in m.items()
+        if os_name != "Linux/PPC"
+    )
+
+
+def _paper_table3() -> Dict[str, Dict[str, object]]:
+    from repro.oscompare.runner import PAPER_TABLE3
+
+    return {
+        os_name: dict(zip(("null_us", "ctxsw_us", "pipe_lat_us", "pipe_bw"),
+                          values))
+        for os_name, values in PAPER_TABLE3.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# E12 — §5.1: BAT-mapping the I/O space
+# ---------------------------------------------------------------------------
+
+
+def _measure_e12(spec: ExperimentSpec) -> Measurement:
+    """§5.1: I/O-space BATs 'did not improve these measures significantly'."""
+    from repro.kernel.kernel import IO_BASE_EA
+
+    def run(variant: ConfigVariant):
+        sim = boot(variant.machine, variant.config)
+        kernel = sim.kernel
+        task = kernel.spawn("xserver", data_pages=66)
+        kernel.switch_to(task)
+        trace = WorkingSetTrace(
+            0x01000000, 12, 0x10000000, 64, hot_fraction=0.5, seed=11,
+        )
+        mark = sim.machine.clock.snapshot()
+        visits = list(trace.visits(4000))
+        for index, visit in enumerate(visits):
+            kernel.user_access(task, visit.ea, visit.lines, visit.write,
+                               visit.kind, first_line=visit.first_line)
+            if index % 40 == 39:
+                # The occasional framebuffer poke: rare enough that its
+                # TLB entries "are quickly displaced by other mappings".
+                kernel.machine.access_page(
+                    IO_BASE_EA + (index % 64) * PAGE_SIZE, 4, write=True
+                )
+        cycles = sim.machine.clock.since(mark)
+        return cycles, sim.machine.monitor.total_tlb_misses()
+
+    base_variant, bat_variant = spec.variants
+    base_cycles, base_misses = run(base_variant)
+    bat_cycles, bat_misses = run(bat_variant)
+    ratio = bat_cycles / base_cycles
+    lines = [
+        "E12 — §5.1 BAT-mapping the I/O space",
+        f"  without I/O BAT: {base_cycles} cycles, {base_misses} TLB misses",
+        f"  with I/O BAT:    {bat_cycles} cycles, {bat_misses} TLB misses",
+        f"  cycle ratio {ratio:.3f} "
+        "(paper: 'did not improve these measures significantly')",
+    ]
+    measured = {
+        "cycle_ratio": ratio,
+        "tlb_misses_saved": base_misses - bat_misses,
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e12(m: Dict[str, object]) -> bool:
+    return bool(0.95 < m["cycle_ratio"] < 1.02)  # type: ignore[operator]
+
+
+# ---------------------------------------------------------------------------
+# E13 — §6.2: removing the hash table (compile -5%)
+# ---------------------------------------------------------------------------
+
+
+def _measure_e13(spec: ExperimentSpec, units: int = 5) -> Measurement:
+    """§6.2: the no-htab 603 compile and the 603-vs-604 headline."""
+    htab_variant, nohtab_variant, m604_variant = spec.variants
+    htab = kernel_compile(
+        boot(htab_variant.machine, htab_variant.config),
+        units=units, label=htab_variant.label,
+    )
+    nohtab = kernel_compile(
+        boot(nohtab_variant.machine, nohtab_variant.config),
+        units=units, label=nohtab_variant.label,
+    )
+    m604 = kernel_compile(
+        boot(m604_variant.machine, m604_variant.config),
+        units=units, label=m604_variant.label,
+    )
+    ratio = nohtab.wall_ms / htab.wall_ms
+    vs604 = nohtab.wall_ms / m604.wall_ms
+    lines = [
+        "E13 — §6.2 removing the hash table on the 603 (kernel compile)",
+        f"  603@180 with htab emulation: {htab.wall_ms:8.1f} ms",
+        f"  603@180 direct PTE-tree:     {nohtab.wall_ms:8.1f} ms"
+        f"  (ratio {ratio:.3f}; paper -5% = 0.95)",
+        f"  604@200 (hardware walk):     {m604.wall_ms:8.1f} ms"
+        f"  (603 no-htab is {vs604:.2f}x of the 604@200's time)",
+    ]
+    return Measurement({"compile_ratio": ratio, "vs_604_200": vs604}, lines)
+
+
+def _shape_e13(m: Dict[str, object]) -> bool:
+    return bool(
+        m["compile_ratio"] < 1.0 and m["vs_604_200"] < 1.35  # type: ignore[operator]
+    )
+
+
+# ---------------------------------------------------------------------------
+# E14 — §10.1 ablation: uncached idle task
+# ---------------------------------------------------------------------------
+
+
+def _measure_e14(spec: ExperimentSpec) -> Measurement:
+    """§10.1: run the idle task cache-inhibited (future-work ablation)."""
+    cached_variant, uncached_variant = spec.variants
+    normal = _pollution_busy(
+        cached_variant.machine, cached_variant.config, mark_prefix="e14"
+    )
+    uncached = _pollution_busy(
+        uncached_variant.machine, uncached_variant.config, mark_prefix="e14"
+    )
+    ratio = uncached / normal
+    lines = [
+        "E14 — §10.1 ablation: cache-inhibited idle task",
+        f"  idle cached:       busy {normal} cycles",
+        f"  idle cache-inhibited: busy {uncached} cycles (ratio {ratio:.3f})",
+        "  paper (conjecture): uncaching the idle task avoids polluting "
+        "the cache",
+    ]
+    return Measurement({"busy_ratio": ratio}, lines)
+
+
+def _shape_e14(m: Dict[str, object]) -> bool:
+    return bool(m["busy_ratio"] < 1.0)  # type: ignore[operator]
+
+
+# ---------------------------------------------------------------------------
+# E15 — §10.2 ablation: cache preloads in the switch path
+# ---------------------------------------------------------------------------
+
+
+def _measure_e15(spec: ExperimentSpec) -> Measurement:
+    """§10.2: dcbt prefetches at context-switch entry (future work).
+
+    The preloads only matter when the user working sets have evicted the
+    switch path's data between switches, so the harness thrashes the L1
+    before each measured switch — the cache-hostile regime the paper's
+    conjecture targets.
+    """
+    from repro.params import KERNELBASE
+
+    def switch_cost(variant: ConfigVariant) -> float:
+        sim = boot(variant.machine, variant.config)
+        kernel = sim.kernel
+        first = kernel.spawn("a")
+        second = kernel.spawn("b")
+        kernel.switch_to(first)
+        total = 0
+        thrash_base = KERNELBASE + 4 * 1024 * 1024
+        for iteration in range(40):
+            # A user burst large enough to evict the kernel's switch
+            # data from the L1 (but not the L2).
+            for page in range(12):
+                sim.machine.access_page(
+                    thrash_base + page * PAGE_SIZE, lines=128, write=True
+                )
+            target = second if kernel.current_task is first else first
+            start = sim.machine.clock.snapshot()
+            kernel.switch_to(target)
+            total += sim.machine.clock.since(start)
+        return total / 40
+
+    base_variant, preload_variant = spec.variants
+    base = switch_cost(base_variant)
+    preloaded = switch_cost(preload_variant)
+    ratio = preloaded / base if base else 1.0
+    lines = [
+        "E15 — §10.2 ablation: cache preloads in the context-switch path",
+        f"  cache-cold switch cost: {base:6.1f} -> {preloaded:6.1f} cycles "
+        f"(ratio {ratio:.3f})",
+        "  paper (conjecture): 'we can make significant gains with "
+        "intelligent use of cache preloads in context switching'",
+    ]
+    measured = {"ctxsw8_ratio": ratio, "base_us": base, "preload_us": preloaded}
+    return Measurement(measured, lines)
+
+
+def _shape_e15(m: Dict[str, object]) -> bool:
+    return bool(m["ctxsw8_ratio"] < 0.99)  # type: ignore[operator]
+
+
+# ---------------------------------------------------------------------------
+# E16 — §7 ablation: the rejected on-demand zombie scavenge
+# ---------------------------------------------------------------------------
+
+
+def _measure_e16(spec: ExperimentSpec) -> Measurement:
+    """§7's rejected design: scavenge zombies when space runs out.
+
+    The paper: "performance would also be inconsistent if we had to
+    occasionally scan the hash table and invalidate zombie PTEs when we
+    needed more space".  We measure per-access latency spikes under both
+    designs on a zombie-saturated table.
+    """
+
+    def latency_profile(variant: ConfigVariant):
+        sim = boot(variant.machine, variant.config)
+        kernel = sim.kernel
+        htab = sim.machine.htab
+        task = kernel.spawn("churn", data_pages=120)
+        kernel.switch_to(task)
+        rng = random.Random(spec.seed)
+        pages = list(range(0, 118, 2))
+        # Fill the table to the brink with zombie PTEs (context churn),
+        # so eviction pressure exists during the measured phase.  Stop at
+        # the first evict: under the on-demand design that evict already
+        # scavenged, and continuing would just oscillate.
+        while (
+            htab.valid_entries() < htab.slots - 40 and htab.evicts == 0
+        ):
+            for page in pages:
+                kernel.user_access(
+                    task, 0x10000000 + page * PAGE_SIZE, 1, True
+                )
+            kernel.flush.flush_mm(task.mm)
+        # Measured phase: random re-touches; each may trigger a reload,
+        # and periodic flushes keep the zombie supply growing.
+        samples = []
+        for index in range(5000):
+            page = pages[rng.randrange(len(pages))]
+            start = sim.machine.clock.snapshot()
+            kernel.user_access(task, 0x10000000 + page * PAGE_SIZE, 1, False)
+            samples.append(sim.machine.clock.since(start))
+            if index % 100 == 99:
+                kernel.flush.flush_mm(task.mm)
+        samples.sort()
+        mean = sum(samples) / len(samples)
+        p99 = samples[int(len(samples) * 0.99)]
+        worst = samples[-1]
+        bursts = sim.machine.monitor.get("scavenge_burst")
+        return mean, p99, worst, bursts
+
+    idle_variant, demand_variant = spec.variants
+    idle_mean, idle_p99, idle_worst, _ = latency_profile(idle_variant)
+    dem_mean, dem_p99, dem_worst, bursts = latency_profile(demand_variant)
+    lines = [
+        "E16 — §7 ablation: rejected on-demand zombie scavenging",
+        f"  {'':<22}{'mean':>8}{'p99':>8}{'worst':>8}  (cycles/access)",
+        f"  {'idle-task reclaim':<22}{idle_mean:8.1f}{idle_p99:8d}"
+        f"{idle_worst:8d}",
+        f"  {'on-demand scavenge':<22}{dem_mean:8.1f}{dem_p99:8d}"
+        f"{dem_worst:8d}   ({bursts} scavenge bursts)",
+        "  paper: the on-demand design was rejected because performance "
+        "'would be inconsistent'",
+    ]
+    measured = {
+        "idle_worst": idle_worst,
+        "demand_worst": dem_worst,
+        "idle_p99": idle_p99,
+        "demand_p99": dem_p99,
+        "scavenge_bursts": bursts,
+    }
+    return Measurement(measured, lines)
+
+
+def _shape_e16(m: Dict[str, object]) -> bool:
+    return bool(
+        m["demand_worst"] > 3 * m["idle_worst"]  # type: ignore[operator]
+        and m["scavenge_bursts"] > 0  # type: ignore[operator]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Variant matrices
+# ---------------------------------------------------------------------------
+
+
+def _e2_variants() -> Tuple[ConfigVariant, ...]:
+    unopt = KernelConfig.unoptimized()
+    return (
+        ConfigVariant("no BAT", M604_185, unopt),
+        ConfigVariant("BAT", M604_185, unopt.with_changes(bat_kernel_map=True)),
+    )
+
+
+def _e3_variants() -> Tuple[ConfigVariant, ...]:
+    # (label, scatter constant, BAT kernel map).  Power-of-two
+    # multipliers alias in the low hash bits; the larger the power, the
+    # fewer distinct buckets the processes can reach.
+    cells = (
+        ("pid<<11 (pow2: all pids share buckets)", 2048, False),
+        ("pid<<4  (pow2, milder aliasing)", 16, False),
+        ("pid*37  (non-pow2 scatter)", 37, False),
+        ("pid*37 + kernel via BAT", 37, True),
+    )
+    return tuple(
+        ConfigVariant(
+            label,
+            M604_185,
+            KernelConfig(
+                vsid_policy=VsidPolicy.PID_SCATTER,
+                vsid_scatter_constant=constant,
+                bat_kernel_map=bat,
+            ),
+        )
+        for label, constant, bat in cells
+    )
+
+
+def _e4_variants() -> Tuple[ConfigVariant, ...]:
+    slow = KernelConfig.unoptimized()
+    fast = slow.with_changes(fast_handlers=True, optimized_entry=True)
+    return (
+        ConfigVariant("C", M604_133, slow),
+        ConfigVariant("asm", M604_133, fast),
+    )
+
+
+def _e5_variants() -> Tuple[ConfigVariant, ...]:
+    opt = KernelConfig.optimized()
+    return (
+        ConfigVariant(
+            "603 180MHz (htab)", M603_180, opt.with_changes(use_htab_on_603=True)
+        ),
+        ConfigVariant("603 180MHz (no htab)", M603_180, opt),
+        ConfigVariant("604 185MHz", M604_185, opt),
+        ConfigVariant("604 200MHz", M604_200, opt),
+    )
+
+
+def _e6_variants() -> Tuple[ConfigVariant, ...]:
+    # The non-lazy columns are otherwise-optimized kernels that still
+    # search-flush; the lazy columns add the VSID bump + cutoff.
+    lazy = KernelConfig.optimized()
+    search = lazy.with_changes(
+        lazy_vsid_flush=False, vsid_policy=VsidPolicy.PID_SCATTER
+    )
+    return (
+        ConfigVariant(
+            "603 133MHz", M603_133, search.with_changes(use_htab_on_603=True)
+        ),
+        ConfigVariant(
+            "603 133MHz (lazy)", M603_133, lazy.with_changes(use_htab_on_603=True)
+        ),
+        ConfigVariant("604 185MHz", M604_185, search),
+        ConfigVariant("604 185MHz (tune)", M604_185, lazy),
+    )
+
+
+def _e7_variants() -> Tuple[ConfigVariant, ...]:
+    return (
+        ConfigVariant(
+            "no reclaim",
+            M604_185,
+            KernelConfig.optimized().with_changes(idle_zombie_reclaim=False),
+        ),
+        ConfigVariant("idle reclaim", M604_185, KernelConfig.optimized()),
+    )
+
+
+def _e8_variants() -> Tuple[ConfigVariant, ...]:
+    def for_cutoff(cutoff: Optional[int]) -> KernelConfig:
+        if cutoff is None:
+            return KernelConfig.optimized().with_changes(
+                lazy_vsid_flush=False, vsid_policy=VsidPolicy.PID_SCATTER
+            )
+        return KernelConfig.optimized().with_changes(range_flush_cutoff=cutoff)
+
+    return tuple(
+        ConfigVariant(label, M604_185, for_cutoff(cutoff))
+        for cutoff, label in (
+            (None, "search (no lazy)"),
+            (5, "cutoff 5"),
+            (20, "cutoff 20 (tuned)"),
+            (10**6, "cutoff inf"),
+        )
+    )
+
+
+def _e9_variants() -> Tuple[ConfigVariant, ...]:
+    config = KernelConfig.optimized()
+    return (
+        ConfigVariant("cold refill", M604_185, config),
+        ConfigVariant(
+            "storm cached", M604_185, config.with_changes(cache_page_tables=True)
+        ),
+        ConfigVariant(
+            "storm uncached", M604_185,
+            config.with_changes(cache_page_tables=False),
+        ),
+    )
+
+
+def _e10_variants() -> Tuple[ConfigVariant, ...]:
+    return tuple(
+        ConfigVariant(
+            policy.value,
+            M604_185,
+            KernelConfig.optimized().with_changes(
+                idle_page_clear=policy, idle_zombie_reclaim=False
+            ),
+        )
+        for policy in (
+            IdlePageClearPolicy.OFF,
+            IdlePageClearPolicy.CACHED_LIST,
+            IdlePageClearPolicy.UNCACHED_NO_LIST,
+            IdlePageClearPolicy.UNCACHED_LIST,
+        )
+    )
+
+
+def _e12_variants() -> Tuple[ConfigVariant, ...]:
+    return (
+        ConfigVariant(
+            "no I/O BAT", M604_185,
+            KernelConfig.optimized().with_changes(bat_io_map=False),
+        ),
+        ConfigVariant(
+            "I/O BAT", M604_185,
+            KernelConfig.optimized().with_changes(bat_io_map=True),
+        ),
+    )
+
+
+def _e13_variants() -> Tuple[ConfigVariant, ...]:
+    opt = KernelConfig.optimized()
+    return (
+        ConfigVariant(
+            "603 htab", M603_180, opt.with_changes(use_htab_on_603=True)
+        ),
+        ConfigVariant("603 no-htab", M603_180, opt),
+        ConfigVariant("604 200MHz", M604_200, opt),
+    )
+
+
+def _e14_variants() -> Tuple[ConfigVariant, ...]:
+    cached = KernelConfig.optimized().with_changes(
+        idle_page_clear=IdlePageClearPolicy.CACHED_LIST,
+        idle_zombie_reclaim=True,
+    )
+    return (
+        ConfigVariant("idle cached", M604_185, cached),
+        ConfigVariant(
+            "idle cache-inhibited", M604_185,
+            cached.with_changes(idle_uncached=True),
+        ),
+    )
+
+
+def _e15_variants() -> Tuple[ConfigVariant, ...]:
+    return (
+        ConfigVariant(
+            "no preload", M604_185,
+            KernelConfig.optimized().with_changes(cache_preloads=False),
+        ),
+        ConfigVariant(
+            "preload", M604_185,
+            KernelConfig.optimized().with_changes(cache_preloads=True),
+        ),
+    )
+
+
+def _e16_variants() -> Tuple[ConfigVariant, ...]:
+    return (
+        ConfigVariant("idle-task reclaim", M604_185, KernelConfig.optimized()),
+        ConfigVariant(
+            "on-demand scavenge", M604_185,
+            KernelConfig.optimized().with_changes(
+                idle_zombie_reclaim=False, on_demand_scavenge=True
+            ),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+#: Experiment id -> spec, as indexed in DESIGN.md.  Keep this a dict
+#: literal: the ``experiment-registry`` lint pass reads its keys.
+SPECS: Dict[str, ExperimentSpec] = {
+    "E1": ExperimentSpec(
+        id="E1",
+        title="Figure 1: translation datapath",
+        section="Figure 1",
+        variants=(ConfigVariant("fig1", M604_185, KernelConfig.optimized()),),
+        workload=_measure_e1,
+        shape=_shape_e1,
+        paper={"va_bits": 52, "segment_bits": 4, "page_index_bits": 16},
+    ),
+    "E2": ExperimentSpec(
+        id="E2",
+        title="§5.1 BAT kernel mapping",
+        section="§5.1",
+        variants=_e2_variants(),
+        workload=_measure_e2,
+        shape=_shape_e2,
+        paper={
+            "tlb_ratio": 0.90,
+            "htab_ratio": 0.81,
+            "kernel_tlb_slots_after": 4,
+            "wall_ratio": 0.80,
+        },
+        notes=(
+            "Wall-clock effect under-reproduces: our scaled compile is "
+            "cache-bound where the original was reload-bound, so removing "
+            "kernel TLB misses moves wall time less than the paper's 20%."
+        ),
+    ),
+    "E3": ExperimentSpec(
+        id="E3",
+        title="§5.2 hash-table occupancy vs VSID scatter",
+        section="§5.2",
+        variants=_e3_variants(),
+        workload=_measure_e3,
+        shape=_shape_e3,
+        paper={"naive": 0.37, "scattered": 0.57, "kernel_removed": 0.75},
+    ),
+    "E4": ExperimentSpec(
+        id="E4",
+        title="§6.1 fast reload handlers",
+        section="§6.1",
+        variants=_e4_variants(),
+        workload=_measure_e4,
+        shape=_shape_e4,
+        paper={
+            "ctxsw_ratio": 0.67,
+            "pipe_latency_ratio": 0.85,
+            "compile_ratio": 0.85,
+        },
+    ),
+    "E5": ExperimentSpec(
+        id="E5",
+        title="Table 1: direct TLB reloads on the 603",
+        section="Table 1",
+        variants=_e5_variants(),
+        workload=_measure_e5,
+        shape=_shape_e5,
+        paper=PAPER_TABLE1,
+        notes=(
+            "The in-noise per-cell differences between htab and no-htab "
+            "(pipe bw +-6%, reread +-9%) do not fully reproduce; the "
+            "headline (603@180 keeps pace with the 604s; process start "
+            "improves without the hash table) does."
+        ),
+    ),
+    "E6": ExperimentSpec(
+        id="E6",
+        title="Table 2: lazy VSID flushing",
+        section="Table 2",
+        variants=_e6_variants(),
+        workload=_measure_e6,
+        shape=_shape_e6,
+        paper={"mmap_improvement_603": 79.0, "mmap_improvement_604": 82.8},
+    ),
+    "E7": ExperimentSpec(
+        id="E7",
+        title="§7 zombie reclaim in the idle task",
+        section="§7",
+        variants=_e7_variants(),
+        workload=_measure_e7,
+        shape=_shape_e7,
+        paper={
+            "evict_ratio_before": 0.90,
+            "evict_ratio_after": 0.30,
+            "hit_rate_before": 0.85,
+            "hit_rate_after": 0.98,
+        },
+        notes=(
+            "Live-entry growth (600-700 -> 1400-2200) reproduces only "
+            "partially: with round-robin bucket replacement, evicts land "
+            "mostly on zombies, so live occupancy is less sensitive here "
+            "than on the real system."
+        ),
+    ),
+    "E8": ExperimentSpec(
+        id="E8",
+        title="§7 range-flush cutoff sweep",
+        section="§7",
+        variants=_e8_variants(),
+        workload=_measure_e8,
+        shape=_shape_e8,
+        paper={"improvement": 80.0},
+    ),
+    "E9": ExperimentSpec(
+        id="E9",
+        title="§8 page-table cache pollution",
+        section="§8",
+        variants=_e9_variants(),
+        workload=_measure_e9,
+        shape=_shape_e9,
+        paper={"worst_case_refs": 34, "new_cache_lines_per_refill": 18},
+    ),
+    "E10": ExperimentSpec(
+        id="E10",
+        title="§9 idle-task page clearing",
+        section="§9",
+        variants=_e10_variants(),
+        workload=_measure_e10,
+        shape=_shape_e10,
+        paper={
+            "pollution_cached_ratio": 2.0,
+            "pollution_uncached_nolist_ratio": 1.0,
+            "compile_uncached_list_ratio": 0.9,
+        },
+        notes=(
+            "The cached-clearing penalty reproduces in direction (slower) "
+            "but not the full 2x: the tag-only cache model has no bus "
+            "contention, which the paper's SMP footnote identifies as the "
+            "other half of the cost."
+        ),
+    ),
+    "E11": ExperimentSpec(
+        id="E11",
+        title="Table 3: OS comparison",
+        section="Table 3",
+        variants=(),
+        workload=_measure_e11,
+        shape=_shape_e11,
+        paper={},  # filled lazily by paper_for() (imports oscompare)
+    ),
+    "E12": ExperimentSpec(
+        id="E12",
+        title="§5.1 I/O-space BAT mapping",
+        section="§5.1",
+        variants=_e12_variants(),
+        workload=_measure_e12,
+        shape=_shape_e12,
+        paper={"cycle_ratio": 1.0},
+    ),
+    "E13": ExperimentSpec(
+        id="E13",
+        title="§6.2 no-htab compile",
+        section="§6.2",
+        variants=_e13_variants(),
+        workload=_measure_e13,
+        shape=_shape_e13,
+        paper={"compile_ratio": 0.95},
+    ),
+    "E14": ExperimentSpec(
+        id="E14",
+        title="§10.1 uncached idle task ablation",
+        section="§10.1",
+        variants=_e14_variants(),
+        workload=_measure_e14,
+        shape=_shape_e14,
+        paper={"busy_ratio": 1.0},
+    ),
+    "E15": ExperimentSpec(
+        id="E15",
+        title="§10.2 cache preloads ablation",
+        section="§10.2",
+        variants=_e15_variants(),
+        workload=_measure_e15,
+        shape=_shape_e15,
+        paper={"ctxsw8_ratio": 1.0},
+    ),
+    "E16": ExperimentSpec(
+        id="E16",
+        title="§7 rejected on-demand scavenge ablation",
+        section="§7",
+        variants=_e16_variants(),
+        workload=_measure_e16,
+        shape=_shape_e16,
+        paper={"inconsistency": "worst-case latency spikes"},
+        seed=11,
+    ),
+}
+
+
+def paper_for(spec: ExperimentSpec) -> Dict[str, object]:
+    """A spec's paper-reference values (E11's import oscompare lazily)."""
+    if spec.id == "E11" and not spec.paper:
+        return _paper_table3()
+    return spec.paper
+
+
+def sorted_ids(ids: Optional[Sequence[str]] = None) -> List[str]:
+    """Registry IDs in numeric order (E1, E2, ..., E16)."""
+    return sorted(ids if ids is not None else SPECS, key=experiment_sort_key)
+
+
+# ---------------------------------------------------------------------------
+# Matrix sweeps (repro run --matrix NAME)
+# ---------------------------------------------------------------------------
+
+
+def _run_vsid_matrix() -> str:
+    from repro.analysis.sweep import ascii_bars, sweep_vsid_scatter
+
+    constants = (2048, 256, 16, 13, 37, 111)
+    points = sweep_vsid_scatter(constants, processes=16, pages_per_process=240)
+    lines = [
+        "matrix vsid-scatter — §5.2 hash-table health vs scatter constant",
+        f"  {'constant':<10}{'pow2':<6}{'occupancy':>10}{'evicts':>8}"
+        f"{'hot-spot':>10}{'entropy':>9}",
+    ]
+    for point in points:
+        lines.append(
+            f"  {point.constant:<10}{'yes' if point.is_power_of_two else 'no':<6}"
+            f"{point.occupancy:9.1%}{point.evicts:8d}"
+            f"{point.hot_spot_ratio:10.1f}{point.entropy:9.2f}"
+        )
+    lines.append("")
+    lines.append(
+        ascii_bars(
+            [str(point.constant) for point in points],
+            [point.occupancy for point in points],
+        )
+    )
+    return "\n".join(lines)
+
+
+def _run_cutoff_matrix() -> str:
+    from repro.analysis.sweep import ascii_bars, sweep_flush_cutoff
+
+    cutoffs: Tuple[Optional[int], ...] = (None, 5, 10, 20, 50, 200, 10**6)
+    points = sweep_flush_cutoff(cutoffs)
+    labels = [
+        "search" if point.cutoff is None else f"cutoff {point.cutoff}"
+        for point in points
+    ]
+    lines = [
+        "matrix flush-cutoff — §7 lat_mmap (4MB) vs range-flush cutoff",
+    ]
+    lines.append(
+        ascii_bars(labels, [point.mmap_us for point in points])
+    )
+    lines.append("  (us per mmap+munmap pair; lower is better)")
+    return "\n".join(lines)
+
+
+#: Named config-matrix sweeps: the paper's tuning instruments as
+#: first-class engine citizens.
+MATRICES: Dict[str, MatrixSpec] = {
+    "vsid-scatter": MatrixSpec(
+        id="vsid-scatter",
+        title="§5.2 VSID scatter constant sweep",
+        axis="vsid_scatter_constant",
+        run=_run_vsid_matrix,
+    ),
+    "flush-cutoff": MatrixSpec(
+        id="flush-cutoff",
+        title="§7 range-flush cutoff sweep",
+        axis="range_flush_cutoff",
+        run=_run_cutoff_matrix,
+    ),
+}

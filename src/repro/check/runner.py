@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
-from repro.analysis import experiments
+from repro.analysis import engine, specs
 from repro.check import (
     disable_global_sanitizer,
     drain_global_sanitizers,
@@ -101,20 +101,20 @@ def run_checked(
     always runs at the end of each experiment.
     """
     if ids is None:
-        ids = experiments.sorted_ids()
+        ids = specs.sorted_ids()
     reporter = enable_global_sanitizer(sweep_every=sweep_every)
     run = CheckRun(reporter)
     try:
         for experiment_id in ids:
             key = experiment_id.upper()
-            if key not in experiments.REGISTRY:
+            if key not in specs.SPECS:
                 raise KeyError(experiment_id)
             if progress is not None:
                 progress(key)
             reporter.begin_context(key)
             before = reporter.total
             start = time.monotonic()
-            result = experiments.REGISTRY[key]()
+            result = engine.execute(specs.SPECS[key])
             sanitizers = drain_global_sanitizers()
             translations = 0
             for sanitizer in sanitizers:

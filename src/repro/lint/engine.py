@@ -35,6 +35,7 @@ ALL_RULES: List[Rule] = [
     closure.LedgerTaxonomyRule(),
     closure.EventRegistryRule(),
     closure.InvariantRegistrationRule(),
+    closure.ExperimentRegistryRule(),
 ]
 
 #: Ids a pragma may name (rules plus the engine's pseudo-rules).

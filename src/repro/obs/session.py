@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.analysis import experiments
+from repro.analysis import engine, specs
+from repro.analysis.spec import ExperimentResult
 from repro.obs import (
     Observability,
     TraceConfig,
@@ -32,7 +33,7 @@ class ObservedExperiment:
     """An experiment's result plus the recorders that watched it run."""
 
     experiment: str
-    result: experiments.ExperimentResult
+    result: ExperimentResult
     observed: List[Observability] = field(default_factory=list)
 
     @property
@@ -76,7 +77,7 @@ def run_observed(
     trace_config: Optional[TraceConfig] = None,
 ) -> ObservedExperiment:
     """Run one registry experiment with the global recorder enabled."""
-    if experiment_id not in experiments.REGISTRY:
+    if experiment_id not in specs.SPECS:
         raise KeyError(f"unknown experiment: {experiment_id}")
     enable_global_observability(
         trace=trace,
@@ -85,7 +86,7 @@ def run_observed(
         trace_config=trace_config,
     )
     try:
-        result = experiments.REGISTRY[experiment_id]()
+        result = engine.execute(specs.SPECS[experiment_id])
         observed = drain_global_observed()
     finally:
         disable_global_observability()

@@ -92,6 +92,25 @@ class Simulator:
         return total_bytes / 1e6 / seconds
 
 
-def boot(spec: MachineSpec, config: Optional[KernelConfig] = None) -> Simulator:
-    """Convenience constructor used throughout tests and benchmarks."""
-    return Simulator(spec, config)
+def boot(
+    spec: MachineSpec,
+    config: Optional[KernelConfig] = None,
+    sanitize: bool = False,
+    trace: bool = False,
+    profile: bool = False,
+    sample_every_us: Optional[float] = None,
+) -> Simulator:
+    """Convenience constructor used throughout tests and benchmarks.
+
+    Forwards the observability/checking options to :class:`Simulator`,
+    so ``boot(spec, config, trace=True)`` behaves exactly like the full
+    constructor (these kwargs used to be dropped silently).
+    """
+    return Simulator(
+        spec,
+        config,
+        sanitize=sanitize,
+        trace=trace,
+        profile=profile,
+        sample_every_us=sample_every_us,
+    )

@@ -19,6 +19,17 @@ from repro.params import M603_180, M604_185
 from repro.sim.simulator import Simulator
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the engine's result cache at a per-test directory.
+
+    Without this, any test that reaches ``engine.run_cached`` (directly
+    or through the CLI) would populate ``.repro-cache/`` in the repo —
+    and could *read* stale entries another test wrote.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def sim604() -> Simulator:
     """A booted optimized 604 system."""

@@ -49,6 +49,35 @@ class TestCutoffSweep:
         assert search.cutoff is None and tuned.cutoff == 20
         assert tuned.mmap_us < search.mmap_us / 10
 
+    def test_points_preserve_requested_order(self):
+        cutoffs = [50, 5, None]
+        points = sweep_flush_cutoff(cutoffs, region_bytes=256 * 1024)
+        assert [point.cutoff for point in points] == cutoffs
+        assert all(point.mmap_us > 0 for point in points)
+
+    def test_sweep_is_deterministic(self):
+        first = sweep_flush_cutoff([10], region_bytes=256 * 1024)
+        second = sweep_flush_cutoff([10], region_bytes=256 * 1024)
+        assert first == second
+
+    def test_cutoff_below_region_switches_to_lazy_flush(self):
+        # The region is 256 pages.  A cutoff below that lazily
+        # reallocates the VSID on unmap (cheap, O(1)); a cutoff above
+        # it range-flushes every page, which at this region size costs
+        # about what full search-flushing does.
+        lazy, ranged = sweep_flush_cutoff(
+            [20, 10**6], region_bytes=1024 * 1024
+        )
+        assert lazy.mmap_us < ranged.mmap_us / 10
+
+    def test_latency_nondecreasing_in_cutoff(self):
+        # Raising the cutoff can only move regions from the lazy path
+        # to the per-page range-flush path, never the reverse.
+        cutoffs = [1, 20, 200, 10**6]
+        points = sweep_flush_cutoff(cutoffs, region_bytes=1024 * 1024)
+        latencies = [point.mmap_us for point in points]
+        assert latencies == sorted(latencies)
+
 
 class TestAsciiBars:
     def test_bars_scale_to_peak(self):
