@@ -15,6 +15,14 @@ Subcommands:
 * ``trace E7 --out e7.trace.json`` — run one experiment under the flight
   recorder and write a Chrome trace (open it in Perfetto).
 * ``profile E6 ...`` — run experiments and print where the cycles went.
+* ``diff A.json B.json`` / ``diff E7 --variant "no reclaim,idle
+  reclaim"`` — structural comparison of two bench artifacts, or of two
+  config variants of one experiment run under the recorder.
+* ``bench compare BASELINE NEW`` — the regression sentinel: compare a
+  fresh bench artifact against the committed baseline under the
+  tolerance policy; nonzero exit on regression.
+* ``report --out report.html`` — render the observatory dashboard (a
+  deterministic, self-contained HTML file).
 * ``lint [paths...]`` — run the domain-aware static analysis over the
   package (``--list-rules`` for the rule catalog).
 * ``table1`` / ``table2`` / ``table3`` — shortcuts for the paper's tables.
@@ -109,6 +117,7 @@ def _write_bench_artifact(out_path, run) -> None:
         source="python -m repro run --bench-out",
         timings=run.timings,
     )
+    metrics.validate_bench_doc(doc)
     with open(out_path, "w") as handle:
         handle.write(metrics.dumps(doc))
     print(f"bench artifact -> {out_path}", file=sys.stderr)
@@ -223,6 +232,162 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_diff(args) -> int:
+    import json
+
+    from repro.obs import diff as obs_diff
+    from repro.obs import metrics
+
+    if args.variant:
+        return _cmd_diff_variants(args)
+    if args.b is None:
+        print("diff needs two artifact paths (or one experiment id with "
+              "--variant A,B)", file=sys.stderr)
+        return 2
+    docs = []
+    for path in (args.a, args.b):
+        try:
+            docs.append(json.loads(open(path).read()))
+        except (OSError, ValueError) as exc:
+            print(f"diff: {path}: {exc}", file=sys.stderr)
+            return 2
+    if all(isinstance(doc, dict) and "experiments" in doc for doc in docs):
+        for path, doc in zip((args.a, args.b), docs):
+            try:
+                metrics.validate_bench_doc(doc)
+            except ValueError as exc:
+                print(f"diff: {path}: {exc}", file=sys.stderr)
+                return 2
+        per_experiment = obs_diff.diff_docs(docs[0], docs[1])
+        if args.json:
+            print(metrics.dumps(per_experiment), end="")
+            return 0
+        for key, entry in per_experiment.items():
+            if not (entry["changed"] or entry["only_a"] or entry["only_b"]):
+                continue
+            print(obs_diff.render_diff(
+                entry, f"{args.a}:{key}", f"{args.b}:{key}",
+            ))
+            print()
+        print(f"{len(per_experiment)} experiments compared")
+        return 0
+    entry = obs_diff.diff_records(docs[0], docs[1])
+    if args.json:
+        print(metrics.dumps(entry), end="")
+        return 0
+    print(obs_diff.render_diff(entry, args.a, args.b))
+    return 0
+
+
+def _cmd_diff_variants(args) -> int:
+    from repro.obs import diff as obs_diff
+    from repro.obs import metrics
+    from repro.obs import session as obs_session
+
+    labels = [label.strip() for label in args.variant.split(",")]
+    if len(labels) != 2 or not all(labels):
+        print(f"--variant needs exactly two comma-separated labels, got "
+              f"{args.variant!r}", file=sys.stderr)
+        return 2
+    key = args.a.upper()
+    if key not in specs.SPECS:
+        print(f"unknown experiment {args.a!r} "
+              f"(try: python -m repro list)", file=sys.stderr)
+        return 2
+    spec = specs.SPECS[key]
+    spec_labels = [variant.label for variant in spec.variants]
+    for label in labels:
+        if label not in spec_labels:
+            print(f"{key} has no variant {label!r} "
+                  f"(variants: {', '.join(spec_labels)})", file=sys.stderr)
+            return 2
+    observed = obs_session.run_observed(
+        key, trace=True, sample_every_us=args.sample_us
+    )
+    try:
+        entry = obs_diff.diff_variant_labels(
+            spec, observed.observed, labels[0], labels[1]
+        )
+    except KeyError as exc:
+        print(f"diff: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(metrics.dumps(entry), end="")
+        return 0
+    print(obs_diff.render_diff(
+        entry, f"{key} [{labels[0]}]", f"{key} [{labels[1]}]",
+    ))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs import baseline as obs_baseline
+    from repro.obs import metrics
+
+    try:
+        policy = obs_baseline.load_policy(args.policy)
+        baseline_doc = metrics.load_bench_doc(args.baseline)
+        new_doc = metrics.load_bench_doc(args.new)
+    except (OSError, ValueError) as exc:
+        print(f"bench compare: {exc}", file=sys.stderr)
+        return 2
+    verdict = obs_baseline.compare_docs(baseline_doc, new_doc, policy)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(metrics.dumps(verdict.to_record()))
+        print(f"verdict -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(metrics.dumps(verdict.to_record()), end="")
+    else:
+        print(obs_baseline.render_verdict(verdict, args.baseline, args.new))
+    return 0 if verdict.ok else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import metrics
+    from repro.obs import report as obs_report
+
+    if args.from_doc:
+        try:
+            doc = metrics.load_bench_doc(args.from_doc)
+        except (OSError, ValueError) as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.analysis import engine
+
+        if not args.ids:
+            args.all = True
+        ids = _resolve_ids(args)
+        if ids is None:
+            return 2
+        progress = None
+        if args.jobs > 1:
+            progress = lambda key, hit: print(
+                f"  {key} {'cached' if hit else 'done'}", file=sys.stderr
+            )
+        run = engine.run_ids(
+            ids,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            rerun=args.rerun,
+            progress=progress,
+        )
+        # No timings section: the report is deterministic by contract
+        # (byte-identical across repeated runs and across --jobs).
+        doc = metrics.bench_doc(
+            [engine.result_record(result) for result in run.results],
+            source="python -m repro report",
+        )
+        metrics.validate_bench_doc(doc)
+    html = obs_report.render_report(doc, title=args.title)
+    with open(args.out, "w") as handle:
+        handle.write(html)
+    print(f"report -> {args.out} ({len(html)} bytes, "
+          f"{len(doc.get('experiments', []))} experiments)", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args) -> int:
     # Imported here, not at the top: the lint engine is pure tooling and
     # unneeded for the simulation subcommands.
@@ -331,6 +496,81 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="print machine-readable records instead of tables",
     )
+    dff = sub.add_parser(
+        "diff", help="compare two bench artifacts or two config variants"
+    )
+    dff.add_argument(
+        "a", metavar="A",
+        help="bench artifact / record JSON, or an experiment id with "
+             "--variant",
+    )
+    dff.add_argument("b", nargs="?", default=None, metavar="B",
+                     help="second artifact (omit with --variant)")
+    dff.add_argument(
+        "--variant", default=None, metavar="LABEL_A,LABEL_B",
+        help="diff the derived analytics of two variants of experiment A "
+             '(e.g. E7 --variant "no reclaim,idle reclaim")',
+    )
+    dff.add_argument(
+        "--sample-us", type=float, default=1000.0, metavar="US",
+        help="time-series sample interval for --variant runs "
+             "(default 1000)",
+    )
+    dff.add_argument(
+        "--json", action="store_true",
+        help="print the full machine-readable diff",
+    )
+    bench = sub.add_parser(
+        "bench", help="benchmark-trajectory tools (compare)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    cmp_parser = bench_sub.add_parser(
+        "compare",
+        help="compare a fresh bench artifact against a baseline under "
+             "the tolerance policy",
+    )
+    cmp_parser.add_argument("baseline", metavar="BASELINE",
+                            help="baseline artifact (BENCH_baseline.json)")
+    cmp_parser.add_argument("new", metavar="NEW",
+                            help="freshly generated artifact to gate")
+    cmp_parser.add_argument(
+        "--policy", default=None, metavar="FILE",
+        help="tolerance policy JSON (default: built-in policy — exact "
+             "for deterministic values, ratio band for wall times)",
+    )
+    cmp_parser.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable verdict instead of prose",
+    )
+    cmp_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the verdict record to FILE (CI artifact)",
+    )
+    rpt = sub.add_parser(
+        "report", help="render the observatory dashboard HTML"
+    )
+    rpt.add_argument("ids", nargs="*", metavar="EXPERIMENT",
+                     help="experiments to include (default: all)")
+    rpt.add_argument("--all", action="store_true",
+                     help="include the full registry")
+    rpt.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan experiments out across N worker processes "
+             "(the report is byte-identical regardless)",
+    )
+    rpt.add_argument("--no-cache", action="store_true",
+                     help="disable the on-disk result cache")
+    rpt.add_argument("--rerun", action="store_true",
+                     help="force execution but refresh the cache")
+    rpt.add_argument(
+        "--from", dest="from_doc", default=None, metavar="FILE",
+        help="render an existing bench artifact instead of running "
+             "experiments",
+    )
+    rpt.add_argument("--out", default="report.html", metavar="FILE",
+                     help="output HTML path (default report.html)")
+    rpt.add_argument("--title", default=None, metavar="TITLE",
+                     help="dashboard heading")
     lnt = sub.add_parser(
         "lint", help="run the domain-aware static analysis"
     )
@@ -383,6 +623,12 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "machines":

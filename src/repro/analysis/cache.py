@@ -28,7 +28,8 @@ from typing import Dict, Optional
 from repro.analysis.spec import ExperimentResult, ExperimentSpec
 
 #: Bump when the entry format changes; old entries are ignored.
-CACHE_SCHEMA = 1
+#: v2: results carry the observatory's ``derived`` block.
+CACHE_SCHEMA = 2
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

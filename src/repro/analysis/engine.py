@@ -25,9 +25,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis import specs
 from repro.analysis.cache import ResultCache, spec_fingerprint
 from repro.analysis.spec import ExperimentResult, ExperimentSpec
+from repro.obs import analytics
 from repro.obs.metrics import json_safe
 
 
@@ -40,13 +42,22 @@ def spec_for(experiment_id: str) -> ExperimentSpec:
 
 
 def execute(
-    spec: ExperimentSpec, params: Optional[Dict[str, object]] = None
+    spec: ExperimentSpec,
+    params: Optional[Dict[str, object]] = None,
+    derive: bool = False,
 ) -> ExperimentResult:
     """Run one spec's workload and shape-check the measured numbers.
 
-    No caching, no observability management: this is the pure path the
-    sanitizer runner and the obs session wrap with their own hooks.
+    No caching: this is the pure path the sanitizer runner and the obs
+    session wrap with their own hooks.  ``derive=True`` runs the
+    workload under the flight recorder and attaches the observatory's
+    ``derived`` block to the result; it is a no-op when a global
+    recorder is already active (the outer caller owns the handles then,
+    e.g. the benchmark suite or ``repro trace``).  Deriving never
+    changes the measured numbers — the recorder is zero-perturbation.
     """
+    if derive and not obs.global_obs_active():
+        return _execute_derived(spec, params)
     measurement = spec.workload(spec, **(params or {}))
     # Round-trip through JSON so cached and fresh results are equal as
     # values (and so a shape predicate can never depend on a type that
@@ -64,6 +75,34 @@ def execute(
     )
 
 
+def _execute_derived(
+    spec: ExperimentSpec, params: Optional[Dict[str, object]]
+) -> ExperimentResult:
+    """Execute under the flight recorder and attach the derived block.
+
+    Tracing is on with monitor republication off (counter totals are
+    derived from the monitor snapshots instead, without paying an event
+    per counted miss), sampling on the coarse derive grid.
+    """
+    obs.enable_global_observability(
+        trace=True,
+        profile=True,
+        sample_every_us=analytics.DERIVE_SAMPLE_US,
+        trace_config=obs.TraceConfig(monitor_events=frozenset()),
+    )
+    try:
+        result = execute(spec, params)
+        observed = obs.drain_global_observed()
+    finally:
+        obs.disable_global_observability()
+    # The same round-trip the measured dict gets: a derived block loaded
+    # from the cache must be the same value as a fresh one.
+    result.derived = json.loads(
+        json.dumps(json_safe(analytics.derive(observed)))
+    )
+    return result
+
+
 # ---------------------------------------------------------------------------
 # Cached execution
 # ---------------------------------------------------------------------------
@@ -75,12 +114,15 @@ def run_cached(
     cache: Optional[ResultCache] = None,
     use_cache: bool = True,
     rerun: bool = False,
+    derive: bool = True,
 ) -> Tuple[ExperimentResult, float, bool]:
     """Execute one spec through the cache.
 
     Returns ``(result, wall_seconds, cache_hit)``.  ``use_cache=False``
     disables the cache entirely (no read, no write); ``rerun=True``
-    forces execution but still refreshes the stored entry.
+    forces execution but still refreshes the stored entry.  Results
+    carry the observatory's ``derived`` block by default, so every
+    cached entry and every BENCH record has one.
     """
     fingerprint = ""
     if use_cache:
@@ -93,7 +135,7 @@ def run_cached(
     # Engine timing is bookkeeping for the BENCH artifact, not part of
     # any measured value (those come from the simulated clock).
     start = time.monotonic()  # repro-lint: disable=wall-clock -- wall time feeds the timings artifact, never a measured number
-    result = execute(spec, params)
+    result = execute(spec, params, derive=derive)
     wall = time.monotonic() - start  # repro-lint: disable=wall-clock -- wall time feeds the timings artifact, never a measured number
     if use_cache and cache is not None:
         cache.store(spec.id, fingerprint, result)
@@ -202,6 +244,7 @@ def result_record(result: ExperimentResult) -> Dict[str, object]:
         "shape_holds": result.shape_holds,
         "measured": result.measured,
         "paper": result.paper,
+        "derived": result.derived,
     }
     if result.notes:
         record["notes"] = result.notes

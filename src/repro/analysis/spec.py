@@ -20,7 +20,7 @@ reproduces the same shape verdict.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
 from repro.kernel.config import KernelConfig
@@ -38,6 +38,12 @@ class ExperimentResult:
     shape_holds: bool
     report: str
     notes: str = ""
+    #: Observatory analytics (:func:`repro.obs.analytics.derive`) the
+    #: engine attaches when executing with ``derive=True``.  Always
+    #: JSON-round-tripped before attachment, so a cached result's block
+    #: compares equal to a freshly derived one.  Empty when the run was
+    #: not derived (plain :func:`~repro.analysis.engine.execute`).
+    derived: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

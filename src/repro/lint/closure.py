@@ -1,6 +1,6 @@
 """The cross-file closure rules.
 
-Four registries anchor runtime guarantees; these passes close them
+Five registries anchor runtime guarantees; these passes close them
 statically, so deleting a registry entry (or adding an unregistered
 publisher) fails lint instead of failing — or worse, silently skewing —
 a simulator run:
@@ -15,7 +15,11 @@ a simulator run:
   the ``full_sweep`` suite;
 * every experiment spec in the ``SPECS`` registry of
   ``analysis/specs.py`` has a benchmark consumer asserting its paper
-  shape and a row in the repo's EXPERIMENTS.md table.
+  shape and a row in the repo's EXPERIMENTS.md table;
+* every path category in the profiler taxonomy and every event name in
+  the ``EVENT_NAMES`` registry is consumed by at least one derivation
+  in ``obs/analytics.py`` — recorded-but-never-analyzed telemetry is
+  dead weight the observatory would silently ignore.
 """
 
 from __future__ import annotations
@@ -464,3 +468,126 @@ class ExperimentRegistryRule(ProjectRule):
             if match is not None:
                 ids.add(match.group(1))
         return ids
+
+
+# -- analytics coverage ------------------------------------------------------
+
+
+def _dict_literal_values(
+    tree: ast.Module, name: str
+) -> Optional[List[Tuple[str, ast.AST]]]:
+    """String *values* of a module-level ``NAME = {...}`` dict literal."""
+    for node in tree.body:
+        target: Optional[ast.expr]
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if not (isinstance(target, ast.Name) and target.id == name):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        out: List[Tuple[str, ast.AST]] = []
+        for element in value.values:
+            literal = str_const(element)
+            if literal is not None:
+                out.append((literal, element))
+        return out
+    return None
+
+
+class AnalyticsCoverageRule(ProjectRule):
+    id = "analytics-coverage"
+    description = (
+        "every profiler path category and every EVENT_NAMES entry is "
+        "consumed by a derivation in obs/analytics.py"
+    )
+
+    TAXONOMY = "obs/profiler.py"
+    TAXONOMY_NAME = "PATH_CATEGORIES"
+    #: The profiler's catch-all category — part of the output taxonomy
+    #: even though it never appears as a dict value.
+    FALLBACK = "other"
+    EVENTS = "obs/events.py"
+    EVENTS_NAME = "EVENT_NAMES"
+    CONSUMER = "obs/analytics.py"
+
+    def check_project(
+        self, contexts: List[FileContext], report: ProjectReport
+    ) -> None:
+        taxonomy_ctx = _find_context(contexts, self.TAXONOMY)
+        events_ctx = _find_context(contexts, self.EVENTS)
+        if taxonomy_ctx is None and events_ctx is None:
+            return
+        consumer_ctx = _find_context(contexts, self.CONSUMER)
+        if consumer_ctx is None:
+            ctx = taxonomy_ctx if taxonomy_ctx is not None else events_ctx
+            if ctx is not None:
+                report(
+                    ctx, ctx.tree,
+                    f"telemetry registries exist but no {self.CONSUMER} "
+                    "derives anything from them",
+                )
+            return
+        consumed = self._consumer_literals(consumer_ctx)
+        if taxonomy_ctx is not None:
+            self._check_taxonomy(taxonomy_ctx, consumed, report)
+        if events_ctx is not None:
+            self._check_events(events_ctx, consumed, report)
+
+    def _consumer_literals(self, ctx: FileContext) -> Set[str]:
+        """Every string literal in the analytics module.
+
+        Same contract as the experiment-registry pass: any literal
+        mention counts — the rule polices that a derivation *exists*,
+        not how it computes.
+        """
+        literals: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            literal = str_const(node)
+            if literal is not None:
+                literals.add(literal)
+        return literals
+
+    def _check_taxonomy(
+        self, ctx: FileContext, consumed: Set[str], report: ProjectReport
+    ) -> None:
+        values = _dict_literal_values(ctx.tree, self.TAXONOMY_NAME)
+        if values is None:
+            return  # the ledger-taxonomy pass owns a malformed registry
+        seen: Set[str] = set()
+        for category, node in values + [(self.FALLBACK, ctx.tree)]:
+            if category in seen:
+                continue
+            seen.add(category)
+            if category not in consumed:
+                report(
+                    ctx, node,
+                    f"path category {category!r} has no derivation in "
+                    f"{self.CONSUMER}; its cycles would never surface "
+                    "in the observatory",
+                )
+
+    def _check_events(
+        self, ctx: FileContext, consumed: Set[str], report: ProjectReport
+    ) -> None:
+        keys = _dict_literal_keys(ctx.tree, self.EVENTS_NAME)
+        if keys is None:
+            return  # the event-registry pass owns a malformed registry
+        for name, node in keys.items():
+            if name in consumed:
+                continue
+            if name.endswith("*"):
+                stem = name[:-1]
+                if any(
+                    literal and literal.startswith(stem)
+                    for literal in sorted(consumed)
+                ):
+                    continue
+            report(
+                ctx, node,
+                f"event {name!r} is recorded but never consumed by a "
+                f"derivation in {self.CONSUMER}",
+            )

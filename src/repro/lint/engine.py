@@ -36,6 +36,7 @@ ALL_RULES: List[Rule] = [
     closure.EventRegistryRule(),
     closure.InvariantRegistrationRule(),
     closure.ExperimentRegistryRule(),
+    closure.AnalyticsCoverageRule(),
 ]
 
 #: Ids a pragma may name (rules plus the engine's pseudo-rules).

@@ -1,0 +1,403 @@
+"""Derived analytics — the observatory over the flight recorder.
+
+The recorder's three layers (events, attribution, time series) only
+*record*; the paper's arguments are all comparative (§5.2 tunes the
+VSID multiplier against a miss histogram, Table 1 compares reload
+paths, Table 2 compares flush strategies).  This module turns drained
+:class:`~repro.obs.Observability` handles into a ``derived`` block of
+verdict-ready numbers: per-path-category latency percentiles, the
+reload-path tail, flush/idle span statistics, monitor-counter drift
+totals, zombie-occupancy timeline statistics and hash-table hot-spot
+summaries.
+
+Everything here is a pure function of recorder state — deriving never
+touches the simulation, so a derived run stays bit-identical to a bare
+one.  All floats are rounded to six decimals and every ordering is
+explicit, so the same run always produces the same block (the engine
+additionally JSON-round-trips it before attaching it to a result, so
+cached and fresh blocks compare equal).
+
+The module-level registries are *literal* tuples/dicts on purpose:
+``repro lint``'s analytics-coverage closure pass reads them from the
+AST and checks that every ``PATH_CATEGORIES`` path category and every
+``EVENT_NAMES`` entry is consumed by at least one derivation here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import PH_COMPLETE, PH_COUNTER, PH_INSTANT
+from repro.obs.profiler import DISPLAY_ORDER, merge_attributions
+from repro.perf.histogram import (
+    Histogram,
+    miss_histogram,
+    occupancy_histogram,
+)
+
+#: Sample interval (simulated microseconds) the engine's derive wrapper
+#: uses; coarse enough that sampling cost stays negligible next to the
+#: workloads, fine enough for the timeline statistics to be meaningful.
+DERIVE_SAMPLE_US = 1000.0
+
+#: Tracer span names whose duration distributions are summarized, in
+#: display order.  Mirrors the span half of ``EVENT_NAMES``.
+SPAN_EVENTS: Tuple[str, ...] = (
+    "hw-walk",
+    "sw-refill",
+    "scavenge-burst",
+    "flush-page",
+    "flush-range",
+    "flush-mm",
+    "flush-everything",
+    "vsid-bump",
+    "reclaim-chunk",
+    "idle-window",
+    "page-fault",
+)
+
+#: Tracer instant names whose occurrence counts are derived.  The
+#: ``syscall:*`` entry aggregates every suffixed syscall instant.
+INSTANT_EVENTS: Tuple[str, ...] = (
+    "syscall:*",
+    "ctxsw",
+    "wakeup",
+    "sleep",
+    "pipe-create",
+    "pipe-close",
+    "preclear-page",
+)
+
+#: Chrome counter tracks whose sample counts are derived.
+COUNTER_TRACKS: Tuple[str, ...] = (
+    "htab",
+    "occupancy",
+    "monitor",
+)
+
+#: Hardware-monitor counters whose end-of-run totals feed the
+#: ``counters`` drift section (the numbers ``repro diff`` and the
+#: regression sentinel compare).  Mirrors the monitor half of
+#: ``EVENT_NAMES``.
+DRIFT_COUNTERS: Tuple[str, ...] = (
+    "itlb_miss",
+    "dtlb_miss",
+    "tlb_miss",
+    "htab_search",
+    "htab_hit",
+    "htab_miss",
+    "htab_reload",
+    "htab_evict",
+    "hash_miss_interrupt",
+    "sw_tlb_miss_interrupt",
+    "bat_translation",
+    "icache_miss",
+    "dcache_miss",
+    "page_fault_major",
+    "page_fault_minor",
+    "flush_range_search",
+    "flush_range_lazy",
+    "vsid_bump",
+    "zombie_reclaimed",
+    "pages_precleared",
+    "precleared_page_used",
+    "scavenge_burst",
+    "context_switch",
+    "syscall",
+)
+
+#: Path category -> the tracer spans that time it.  Keys cover the full
+#: profiler taxonomy (every ``PATH_CATEGORIES`` value plus the
+#: ``"other"`` fallback); categories whose cost has no span
+#: representation (pure ledger charges like user compute) map to an
+#: empty tuple and are covered by the attribution shares instead.
+CATEGORY_SPANS: Dict[str, Tuple[str, ...]] = {
+    "user-compute": (),
+    "memory": (),
+    "tlb-reload": ("hw-walk", "sw-refill", "scavenge-burst"),
+    "flush": (
+        "flush-page", "flush-range", "flush-mm", "flush-everything",
+        "vsid-bump",
+    ),
+    "idle": ("reclaim-chunk", "idle-window"),
+    "syscall": (),
+    "fault": ("page-fault",),
+    "scheduling": (),
+    "io": (),
+    "kernel-mm": (),
+    "other": (),
+}
+
+#: The combined TLB/hash reload path (§4, Table 1): the tail of these
+#: spans is the paper's headline latency.
+RELOAD_SPANS: Tuple[str, ...] = ("hw-walk", "sw-refill", "scavenge-burst")
+
+#: Percentiles reported for every span distribution.
+PERCENTILES: Tuple[int, ...] = (50, 90, 99)
+
+#: Maximum points kept in a downsampled timeline series (enough for an
+#: SVG polyline; keeps derived blocks small for 10k-sample runs).
+TIMELINE_POINTS = 96
+
+#: Maximum bars kept in a downsampled histogram (adjacent buckets are
+#: summed, so bar totals still sum to the histogram total).
+HISTOGRAM_BARS = 64
+
+
+def percentile(sorted_values: Sequence[int], q: int) -> int:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        return 0
+    rank = max(1, -(-q * len(sorted_values) // 100))  # ceil without floats
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def span_stats(durations: Sequence[int]) -> Dict[str, object]:
+    """count / total / mean / p50 / p90 / p99 / max over span durations."""
+    ordered = sorted(durations)
+    total = sum(ordered)
+    stats: Dict[str, object] = {
+        "count": len(ordered),
+        "total_cycles": total,
+        "mean": round(total / len(ordered), 6) if ordered else 0.0,
+        "max": ordered[-1] if ordered else 0,
+    }
+    for q in PERCENTILES:
+        stats[f"p{q}"] = percentile(ordered, q)
+    return stats
+
+
+def series_stats(values: Sequence[float]) -> Dict[str, object]:
+    """min / max / mean / final over one timeline column."""
+    if not values:
+        return {"min": 0, "max": 0, "mean": 0.0, "final": 0}
+    return {
+        "min": min(values),
+        "max": max(values),
+        "mean": round(sum(values) / len(values), 6),
+        "final": values[-1],
+    }
+
+
+def downsample(values: Sequence, points: int = TIMELINE_POINTS) -> List:
+    """At most ``points`` values, keeping first and last, evenly spaced."""
+    if len(values) <= points:
+        return list(values)
+    last = len(values) - 1
+    return [
+        values[round(index * last / (points - 1))]
+        for index in range(points)
+    ]
+
+
+def histogram_bars(counts: Sequence[int],
+                   bars: int = HISTOGRAM_BARS) -> List[int]:
+    """Sum adjacent buckets down to at most ``bars`` bars."""
+    if len(counts) <= bars:
+        return list(counts)
+    out = []
+    for index in range(bars):
+        start = index * len(counts) // bars
+        stop = (index + 1) * len(counts) // bars
+        out.append(sum(counts[start:stop]))
+    return out
+
+
+def histogram_summary(histogram: Histogram) -> Dict[str, object]:
+    """The §5.2 hot-spot diagnostics plus a plottable bar reduction."""
+    return {
+        "buckets": histogram.buckets,
+        "total": histogram.total,
+        "nonzero_fraction": round(histogram.nonzero_fraction(), 6),
+        "max_load": histogram.max_load(),
+        "hot_spot_ratio": round(histogram.hot_spot_ratio(), 6),
+        "top_share": round(histogram.top_share(), 6),
+        "entropy_efficiency": round(histogram.entropy_efficiency(), 6),
+        "bars": histogram_bars(histogram.counts),
+    }
+
+
+def _merged_counts(count_lists: List[List[int]]) -> List[int]:
+    """Bucket-wise sum over the simulators sharing the modal size.
+
+    Machines in one experiment can carry differently-sized hash tables;
+    summing across sizes would misalign buckets, so only the most
+    common size (smallest on a tie) participates.
+    """
+    sizes = [len(counts) for counts in count_lists]
+    modal = max(sorted(set(sizes)), key=sizes.count)
+    merged = [0] * modal
+    for counts in count_lists:
+        if len(counts) != modal:
+            continue
+        for index, count in enumerate(counts):
+            merged[index] += count
+    return merged
+
+
+def _attribution_block(observed) -> Optional[Dict[str, object]]:
+    attribution = merge_attributions(
+        obs.profiler.attribution()
+        for obs in observed
+        if obs.profiler is not None
+    )
+    if not attribution:
+        return None
+    total = sum(attribution.values())
+    ordered = [c for c in DISPLAY_ORDER if c in attribution]
+    ordered += sorted(set(attribution) - set(ordered))
+    shares = {
+        category: (round(attribution[category] / total, 6) if total else 0.0)
+        for category in ordered
+    }
+    top = sorted(ordered, key=lambda c: (-attribution[c], c))[0]
+    return {
+        "cycles": {category: attribution[category] for category in ordered},
+        "shares": shares,
+        "top": top,
+    }
+
+
+def _instant_key(name: str) -> str:
+    """Fold suffixed syscall instants onto their wildcard registry key."""
+    if name.startswith("syscall:"):
+        return "syscall:*"
+    return name
+
+
+def _trace_blocks(tracers) -> Dict[str, Dict[str, object]]:
+    """The span/event/category/reload sections from the trace rings."""
+    durations: Dict[str, List[int]] = {}
+    instants: Dict[str, int] = {}
+    tracks: Dict[str, int] = {}
+    for tracer in tracers:
+        for _ts, dur, ph, _category, name, _tid, _args in tracer.events:
+            if ph == PH_COMPLETE and dur is not None:
+                durations.setdefault(name, []).append(dur)
+            elif ph == PH_INSTANT:
+                key = _instant_key(name)
+                if key in INSTANT_EVENTS:
+                    instants[key] = instants.get(key, 0) + 1
+            elif ph == PH_COUNTER and name in COUNTER_TRACKS:
+                tracks[name] = tracks.get(name, 0) + 1
+    spans = {
+        name: span_stats(durations[name])
+        for name in SPAN_EVENTS
+        if name in durations
+    }
+    categories = {}
+    for category in sorted(CATEGORY_SPANS):
+        merged: List[int] = []
+        for name in CATEGORY_SPANS[category]:
+            merged.extend(durations.get(name, []))
+        if merged:
+            categories[category] = span_stats(merged)
+    reload_path: List[int] = []
+    for name in RELOAD_SPANS:
+        reload_path.extend(durations.get(name, []))
+    out: Dict[str, Dict[str, object]] = {
+        "events": {
+            "emitted": sum(tracer.emitted for tracer in tracers),
+            "dropped": sum(tracer.dropped for tracer in tracers),
+            "instants": {
+                name: instants[name]
+                for name in INSTANT_EVENTS
+                if name in instants
+            },
+            "tracks": {
+                name: tracks[name]
+                for name in COUNTER_TRACKS
+                if name in tracks
+            },
+        },
+        "spans": spans,
+        "categories": categories,
+    }
+    if reload_path:
+        out["reload"] = span_stats(reload_path)
+    return out
+
+
+def _timeline_block(samplers) -> Optional[Dict[str, object]]:
+    """Occupancy/zombie trajectory statistics from the sampled series."""
+    sampled = [s for s in samplers if s.samples]
+    if not sampled:
+        return None
+    live: List[int] = []
+    zombie: List[int] = []
+    occupancy: List[float] = []
+    for sampler in sampled:
+        live.extend(sampler.series("htab", "live"))
+        zombie.extend(sampler.series("htab", "zombie"))
+        occupancy.extend(sampler.series("htab", "occupancy"))
+    # One machine's trajectory is plottable; pick the richest series
+    # (first on a tie, so the choice is deterministic).
+    richest = max(sampled, key=lambda s: len(s.samples))
+    return {
+        "samplers": len(sampled),
+        "samples": sum(len(s.samples) for s in sampled),
+        "every_us": richest.every_us,
+        "live": series_stats(live),
+        "zombie": series_stats(zombie),
+        "occupancy": series_stats(occupancy),
+        "series": {
+            "us": downsample(richest.series("us")),
+            "live": downsample(richest.series("htab", "live")),
+            "zombie": downsample(richest.series("htab", "zombie")),
+        },
+    }
+
+
+def derive(observed) -> Dict[str, object]:
+    """The full derived block for a drained list of recorder handles.
+
+    Sections degrade gracefully with the recorder configuration: a
+    profile-only run (the benchmark suite) gets attribution, counters
+    and histograms; a traced run adds spans, categories and the reload
+    tail; a sampled run adds the timeline.
+    """
+    observed = list(observed)
+    if not observed:
+        return {}
+    machines: List[str] = []
+    for obs in observed:
+        name = obs.machine.spec.name
+        if name not in machines:
+            machines.append(name)
+    out: Dict[str, object] = {
+        "total_cycles": sum(obs.machine.clock.total for obs in observed),
+        "machines": machines,
+        "simulators": len(observed),
+    }
+    attribution = _attribution_block(observed)
+    if attribution is not None:
+        out["attribution"] = attribution
+    counters = {name: 0 for name in DRIFT_COUNTERS}
+    for obs in observed:
+        snapshot = obs.machine.monitor.snapshot()
+        for name in DRIFT_COUNTERS:
+            counters[name] += snapshot.get(name, 0)
+    out["counters"] = counters
+    tracers = [obs.tracer for obs in observed if obs.tracer is not None]
+    if tracers:
+        out.update(_trace_blocks(tracers))
+    timeline = _timeline_block(
+        [obs.sampler for obs in observed if obs.sampler is not None]
+    )
+    if timeline is not None:
+        out["timeline"] = timeline
+    out["histograms"] = {
+        "occupancy": histogram_summary(
+            Histogram(_merged_counts([
+                occupancy_histogram(obs.machine.htab).counts
+                for obs in observed
+            ]))
+        ),
+        "miss": histogram_summary(
+            Histogram(_merged_counts([
+                miss_histogram(obs.machine.htab).counts
+                for obs in observed
+            ]))
+        ),
+    }
+    return out

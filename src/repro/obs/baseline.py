@@ -1,0 +1,290 @@
+"""The regression sentinel: tolerance-aware bench-doc comparison.
+
+``repro bench compare BASELINE NEW`` gates a change on the benchmark
+trajectory.  The simulation is deterministic, so almost every leaf of
+a bench doc — measured numbers, derived analytics, cycle attributions,
+shape verdicts — must match the committed baseline *exactly*; only the
+wall-clock ``timings`` section is allowed to move, inside a wide ratio
+band, because it measures the host, not the simulation.
+
+Which leaves get which treatment is the *tolerance policy*: an ordered
+list of prefix rules (first match wins) with a default of
+exact-match/fail.  The repo commits its policy next to the baseline
+(``bench-policy.json``) so the gate itself is reviewable; the built-in
+default is used when no file is given.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs import diff as obs_diff
+
+#: Policy file schema (committed as ``bench-policy.json``).
+POLICY_SCHEMA = 1
+
+#: Finding severities, in decreasing order of consequence: ``fail``
+#: findings make the comparison (and CI) fail; ``warn`` findings are
+#: reported but do not gate.
+SEVERITIES = ("fail", "warn")
+
+#: Rule kinds: ``exact`` (values must be identical), ``ratio`` (numeric
+#: values must stay inside ``[1/max_ratio, max_ratio]`` of baseline),
+#: ``ignore`` (leaf excluded from comparison).
+KINDS = ("exact", "ratio", "ignore")
+
+#: The built-in policy: everything deterministic is exact/fail; wall
+#: times warn inside a wide band (they measure the host, and CI hosts
+#: vary wildly — the band only catches pathology).
+DEFAULT_POLICY: Dict[str, object] = {
+    "schema_version": POLICY_SCHEMA,
+    "rules": [
+        {
+            "prefix": "timings.",
+            "kind": "ratio",
+            "max_ratio": 25.0,
+            "severity": "warn",
+            "reason": "wall-clock timings measure the host, not the "
+                      "simulation; only order-of-magnitude moves matter",
+        },
+    ],
+    "default": {"kind": "exact", "severity": "fail"},
+}
+
+
+def load_policy(path=None) -> Dict[str, object]:
+    """The committed tolerance policy, or the built-in default."""
+    if path is None:
+        return DEFAULT_POLICY
+    policy = json.loads(pathlib.Path(path).read_text())
+    problems = validate_policy(policy)
+    if problems:
+        raise ValueError(f"{path}: {problems[0]}")
+    return policy
+
+
+def validate_policy(policy) -> List[str]:
+    """Structural problems with a policy document (empty = valid)."""
+    if not isinstance(policy, dict):
+        return ["policy must be an object"]
+    problems = []
+    if policy.get("schema_version") != POLICY_SCHEMA:
+        problems.append(
+            f"policy schema_version {policy.get('schema_version')!r} != "
+            f"supported {POLICY_SCHEMA}"
+        )
+    rules = policy.get("rules")
+    if not isinstance(rules, list):
+        return problems + ["policy 'rules' must be a list"]
+    for index, rule in enumerate(rules + [policy.get("default", {})]):
+        where = f"rules[{index}]" if index < len(rules) else "default"
+        if not isinstance(rule, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        if index < len(rules) and not isinstance(rule.get("prefix"), str):
+            problems.append(f"{where} needs a string 'prefix'")
+        if rule.get("kind") not in KINDS:
+            problems.append(f"{where} kind must be one of {KINDS}")
+        if rule.get("severity", "fail") not in SEVERITIES:
+            problems.append(f"{where} severity must be one of {SEVERITIES}")
+        if rule.get("kind") == "ratio":
+            max_ratio = rule.get("max_ratio")
+            if not isinstance(max_ratio, (int, float)) or max_ratio <= 1:
+                problems.append(f"{where} ratio rule needs max_ratio > 1")
+    return problems
+
+
+def rule_for(key: str, policy: Dict[str, object]) -> Dict[str, object]:
+    """First prefix rule matching ``key``, else the policy default."""
+    for rule in policy.get("rules", []):
+        if key.startswith(rule["prefix"]):
+            return rule
+    return policy.get("default", DEFAULT_POLICY["default"])
+
+
+@dataclass
+class Finding:
+    """One leaf that moved outside its rule's tolerance."""
+
+    key: str
+    severity: str
+    kind: str
+    baseline: object
+    new: object
+    note: str
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "severity": self.severity,
+            "kind": self.kind,
+            "baseline": self.baseline,
+            "new": self.new,
+            "note": self.note,
+        }
+
+
+@dataclass
+class Verdict:
+    """Outcome of one baseline comparison."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Leaves compared (after ignores).
+    checked: int = 0
+    ignored: int = 0
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "fail"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warn"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "checked": self.checked,
+            "ignored": self.ignored,
+            "regressions": len(self.regressions),
+            "warnings": len(self.warnings),
+            "findings": [f.to_record() for f in self.findings],
+        }
+
+
+def _doc_leaves(doc: Dict) -> Dict[str, object]:
+    """Flatten a bench doc with experiments keyed by id, not index."""
+    keyed = {
+        key: value
+        for key, value in doc.items()
+        if key not in ("experiments", "source", "schema_version")
+    }
+    keyed["experiments"] = {
+        record["id"]: record for record in doc.get("experiments", [])
+    }
+    return obs_diff.flatten(keyed)
+
+
+def compare_docs(
+    baseline_doc: Dict, new_doc: Dict,
+    policy: Optional[Dict[str, object]] = None,
+) -> Verdict:
+    """Apply the tolerance policy leaf-by-leaf.
+
+    Both documents must already have passed
+    :func:`repro.obs.metrics.validate_bench_doc` (the CLI does this),
+    which guarantees the schema versions agree.
+    """
+    policy = policy if policy is not None else DEFAULT_POLICY
+    old = _doc_leaves(baseline_doc)
+    new = _doc_leaves(new_doc)
+    findings: List[Finding] = []
+    checked = 0
+    ignored = 0
+    for key in sorted(set(old) | set(new)):
+        rule = rule_for(key, policy)
+        if rule["kind"] == "ignore":
+            ignored += 1
+            continue
+        checked += 1
+        severity = rule.get("severity", "fail")
+        if key not in new:
+            findings.append(Finding(
+                key, severity, rule["kind"], old[key], None,
+                "leaf present in the baseline but missing from the new "
+                "run; regenerate the baseline if this removal is "
+                "intentional",
+            ))
+            continue
+        if key not in old:
+            findings.append(Finding(
+                key, severity, rule["kind"], None, new[key],
+                "leaf absent from the baseline; regenerate the baseline "
+                "to start tracking it",
+            ))
+            continue
+        before, after = old[key], new[key]
+        if rule["kind"] == "ratio":
+            finding = _ratio_check(key, before, after, rule)
+        else:
+            finding = _exact_check(key, before, after, severity)
+        if finding is not None:
+            findings.append(finding)
+    return Verdict(findings=findings, checked=checked, ignored=ignored)
+
+
+def _exact_check(key, before, after, severity) -> Optional[Finding]:
+    if before == after and isinstance(before, bool) == isinstance(after, bool):
+        return None
+    return Finding(
+        key, severity, "exact", before, after,
+        "deterministic value diverged from the baseline",
+    )
+
+
+def _ratio_check(key, before, after, rule) -> Optional[Finding]:
+    severity = rule.get("severity", "fail")
+    max_ratio = float(rule["max_ratio"])
+    numbers = all(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        for value in (before, after)
+    )
+    if not numbers:
+        return Finding(
+            key, severity, "ratio", before, after,
+            "ratio-banded leaf is not numeric on both sides",
+        )
+    if before == after:
+        return None
+    if before == 0 or after == 0:
+        return Finding(
+            key, severity, "ratio", before, after,
+            "value moved to/from zero; no ratio is defined",
+        )
+    ratio = after / before
+    if 1.0 / max_ratio <= ratio <= max_ratio:
+        return None
+    return Finding(
+        key, severity, "ratio", before, after,
+        f"ratio {ratio:.3g} outside the allowed band "
+        f"[{1.0 / max_ratio:.3g}, {max_ratio:.3g}]",
+    )
+
+
+def render_verdict(verdict: Verdict, baseline_name: str,
+                   new_name: str, limit: int = 20) -> str:
+    """The prose verdict (``--json`` prints the record instead)."""
+    lines = [
+        f"bench compare: {baseline_name} (baseline) vs {new_name} (new)",
+        f"  {verdict.checked} leaves checked, {verdict.ignored} ignored, "
+        f"{len(verdict.regressions)} regression(s), "
+        f"{len(verdict.warnings)} warning(s)",
+    ]
+    shown = 0
+    for finding in verdict.findings:
+        if shown == limit:
+            lines.append(
+                f"  ... {len(verdict.findings) - limit} more findings "
+                "(--json for all)"
+            )
+            break
+        shown += 1
+        lines.append(
+            f"  [{finding.severity}] {finding.key}: "
+            f"{finding.baseline!r} -> {finding.new!r} ({finding.note})"
+        )
+    lines.append(
+        "VERDICT: " + (
+            "ok — the benchmark trajectory matches the baseline"
+            if verdict.ok else
+            "REGRESSION — deterministic results diverged from the baseline"
+        )
+    )
+    return "\n".join(lines)

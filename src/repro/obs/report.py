@@ -1,0 +1,319 @@
+"""The observatory dashboard: one self-contained, deterministic HTML.
+
+``repro report`` renders a bench doc (schema v3, every record carrying
+a ``derived`` block) into a single HTML file with no external assets —
+inline CSS and inline SVG only, so the artifact opens anywhere and can
+be diffed byte-for-byte.  Determinism is a contract: the renderer is a
+pure function of the input document, never consults the clock or the
+environment, and the CLI builds its input without the wall-clock
+``timings`` section — so repeated runs (and ``--jobs 1`` vs
+``--jobs 4``) produce byte-identical files.
+
+The per-experiment sections visualize the derived analytics: a stacked
+cycle-attribution bar, latency percentile tables for the traced path
+categories, the occupancy/zombie timeline polyline, and the §5.2
+hash-table histograms.  The experiments behind the paper's Tables 1–3
+(E5, E6, E11) get their measured-vs-paper tables flagged as such.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional
+
+from repro.obs.profiler import DISPLAY_ORDER
+
+#: Experiments reproducing the paper's numbered tables.
+PAPER_TABLES = {"E5": "Table 1", "E6": "Table 2", "E11": "Table 3"}
+
+#: Stacked-bar palette, one color per display-order path category.
+CATEGORY_COLORS = {
+    "user-compute": "#4e79a7",
+    "memory": "#59a14f",
+    "tlb-reload": "#e15759",
+    "flush": "#f28e2b",
+    "idle": "#76b7b2",
+    "syscall": "#edc948",
+    "fault": "#b07aa1",
+    "scheduling": "#ff9da7",
+    "io": "#9c755f",
+    "kernel-mm": "#bab0ac",
+    "other": "#d4d4d4",
+}
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 70em; color: #1a1a2e; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2.2em;
+     border-bottom: 1px solid #ddd; padding-bottom: .2em; }
+table { border-collapse: collapse; margin: .6em 0; }
+th, td { border: 1px solid #ddd; padding: .25em .6em; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { background: #f4f4f8; }
+.badge { display: inline-block; padding: .05em .5em; border-radius: .7em;
+         font-size: .85em; color: #fff; }
+.hold { background: #2a9d4a; } .break { background: #c0392b; }
+.papertag { color: #8a5a00; background: #fff3d6; border-radius: .4em;
+            padding: .05em .5em; font-size: .85em; }
+.meta { color: #666; font-size: .9em; }
+svg { background: #fafafc; border: 1px solid #eee; }
+.legend span { margin-right: 1em; white-space: nowrap; }
+.swatch { display: inline-block; width: .8em; height: .8em;
+          margin-right: .3em; border-radius: .15em; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value) -> str:
+    """Deterministic cell formatting for measured/derived values."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, (list, dict)):
+        return _esc(repr(value))
+    return _esc(value)
+
+
+# -- SVG helpers -------------------------------------------------------------
+
+
+def _svg_stacked_bar(shares: Dict[str, float], width: int = 640,
+                     height: int = 26) -> str:
+    """One horizontal stacked bar of attribution shares."""
+    ordered = [c for c in DISPLAY_ORDER if c in shares]
+    ordered += sorted(set(shares) - set(ordered))
+    parts = [f'<svg width="{width}" height="{height}" role="img">']
+    x = 0.0
+    for category in ordered:
+        span = shares[category] * width
+        color = CATEGORY_COLORS.get(category, "#d4d4d4")
+        parts.append(
+            f'<rect x="{x:.2f}" y="0" width="{span:.2f}" '
+            f'height="{height}" fill="{color}">'
+            f"<title>{_esc(category)}: {shares[category]:.1%}</title></rect>"
+        )
+        x += span
+    parts.append("</svg>")
+    legend = ['<div class="legend">']
+    for category in ordered:
+        color = CATEGORY_COLORS.get(category, "#d4d4d4")
+        legend.append(
+            f'<span><i class="swatch" style="background:{color}"></i>'
+            f"{_esc(category)} {shares[category]:.1%}</span>"
+        )
+    legend.append("</div>")
+    return "".join(parts) + "".join(legend)
+
+
+def _svg_polyline(series: Dict[str, List], width: int = 640,
+                  height: int = 140) -> str:
+    """The live/zombie occupancy trajectory over simulated time."""
+    xs = series.get("us", [])
+    if len(xs) < 2:
+        return '<p class="meta">timeline: fewer than two samples</p>'
+    curves = [("live", "#2a9d4a"), ("zombie", "#c0392b")]
+    x_max = xs[-1] or 1
+    y_max = max(
+        [1] + [max(series.get(name, [0]) or [0]) for name, _color in curves]
+    )
+    parts = [f'<svg width="{width}" height="{height}" role="img">']
+    for name, color in curves:
+        ys = series.get(name, [])
+        if len(ys) != len(xs):
+            continue
+        points = " ".join(
+            f"{(x / x_max) * (width - 8) + 4:.2f},"
+            f"{height - 4 - (y / y_max) * (height - 8):.2f}"
+            for x, y in zip(xs, ys)
+        )
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+            f'points="{points}"><title>{_esc(name)}</title></polyline>'
+        )
+    parts.append("</svg>")
+    parts.append(
+        '<div class="legend">'
+        '<span><i class="swatch" style="background:#2a9d4a"></i>live</span>'
+        '<span><i class="swatch" style="background:#c0392b"></i>zombie</span>'
+        f"<span>{_fmt(xs[-1])} simulated &micro;s, peak {y_max:,}</span>"
+        "</div>"
+    )
+    return "".join(parts)
+
+
+def _svg_histogram(bars: List[int], width: int = 640,
+                   height: int = 90, color: str = "#4e79a7") -> str:
+    """Bucket-load bars (already downsampled by the analytics)."""
+    if not bars:
+        return '<p class="meta">empty histogram</p>'
+    peak = max(bars) or 1
+    step = width / len(bars)
+    parts = [f'<svg width="{width}" height="{height}" role="img">']
+    for index, count in enumerate(bars):
+        bar_height = (count / peak) * (height - 4)
+        parts.append(
+            f'<rect x="{index * step:.2f}" '
+            f'y="{height - bar_height:.2f}" '
+            f'width="{max(step - 1, 1):.2f}" height="{bar_height:.2f}" '
+            f'fill="{color}"><title>bin {index}: {count}</title></rect>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# -- section renderers -------------------------------------------------------
+
+
+def _measured_table(record: Dict) -> str:
+    measured = record.get("measured", {})
+    paper = record.get("paper", {})
+    keys = sorted(set(measured) | set(paper))
+    if not keys:
+        return ""
+    rows = ["<table><tr><th>metric</th><th>measured</th>"
+            "<th>paper</th></tr>"]
+    for key in keys:
+        rows.append(
+            f"<tr><td>{_esc(key)}</td>"
+            f"<td>{_fmt(measured.get(key, ''))}</td>"
+            f"<td>{_fmt(paper.get(key, ''))}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _latency_table(derived: Dict) -> str:
+    categories = derived.get("categories", {})
+    reload_path = derived.get("reload")
+    if not categories and not reload_path:
+        return ""
+    rows = ["<table><tr><th>path</th><th>count</th><th>cycles</th>"
+            "<th>p50</th><th>p90</th><th>p99</th><th>max</th></tr>"]
+
+    def one(name: str, stats: Dict) -> str:
+        return (
+            f"<tr><td>{_esc(name)}</td><td>{_fmt(stats['count'])}</td>"
+            f"<td>{_fmt(stats['total_cycles'])}</td>"
+            f"<td>{_fmt(stats['p50'])}</td><td>{_fmt(stats['p90'])}</td>"
+            f"<td>{_fmt(stats['p99'])}</td><td>{_fmt(stats['max'])}</td></tr>"
+        )
+
+    for name in sorted(categories):
+        rows.append(one(name, categories[name]))
+    if reload_path:
+        rows.append(one("reload path (Table 1)", reload_path))
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _histogram_section(derived: Dict) -> str:
+    histograms = derived.get("histograms", {})
+    parts = []
+    for name, title in (("occupancy", "occupancy histogram (valid PTEs)"),
+                        ("miss", "miss histogram (§5.2 instrument)")):
+        summary = histograms.get(name)
+        if not summary or not summary.get("total"):
+            continue
+        parts.append(f"<h4>{_esc(title)}</h4>")
+        parts.append(_svg_histogram(summary.get("bars", [])))
+        parts.append(
+            '<p class="meta">'
+            f"{_fmt(summary['total'])} entries over "
+            f"{_fmt(summary['buckets'])} buckets &middot; "
+            f"entropy efficiency {summary['entropy_efficiency']:.3f} "
+            f"&middot; hot-spot ratio {summary['hot_spot_ratio']:.2f} "
+            f"&middot; top-1% share {summary['top_share']:.1%}</p>"
+        )
+    return "".join(parts)
+
+
+def _experiment_section(record: Dict) -> str:
+    record_id = record.get("id", "?")
+    derived = record.get("derived", {})
+    holds = record.get("shape_holds", False)
+    badge = ('<span class="badge hold">shape holds</span>' if holds
+             else '<span class="badge break">shape broken</span>')
+    paper_tag = ""
+    if record_id in PAPER_TABLES:
+        paper_tag = (f' <span class="papertag">paper '
+                     f"{PAPER_TABLES[record_id]}</span>")
+    parts = [
+        f'<h2 id="{_esc(record_id)}">{_esc(record_id)} — '
+        f"{_esc(record.get('title', ''))} {badge}{paper_tag}</h2>",
+        f'<p class="meta">machines: '
+        f"{_esc(', '.join(record.get('machines', [])))}"
+    ]
+    if record.get("variants"):
+        parts.append(" &middot; variants: "
+                     + _esc(", ".join(record["variants"])))
+    if derived.get("total_cycles"):
+        parts.append(f" &middot; {derived['total_cycles']:,} simulated "
+                     f"cycles across {derived.get('simulators', 0)} "
+                     "simulator(s)")
+    parts.append("</p>")
+    shares = derived.get("attribution", {}).get("shares")
+    if shares:
+        parts.append("<h4>cycle attribution</h4>")
+        parts.append(_svg_stacked_bar(shares))
+    parts.append("<h4>measured vs paper</h4>")
+    parts.append(_measured_table(record))
+    latency = _latency_table(derived)
+    if latency:
+        parts.append("<h4>path latencies (cycles)</h4>")
+        parts.append(latency)
+    timeline = derived.get("timeline")
+    if timeline and timeline.get("series"):
+        parts.append("<h4>hash-table occupancy timeline</h4>")
+        parts.append(_svg_polyline(timeline["series"]))
+    parts.append(_histogram_section(derived))
+    if record.get("notes"):
+        parts.append(f'<p class="meta">notes: {_esc(record["notes"])}</p>')
+    return "".join(parts)
+
+
+def _summary_table(records: List[Dict]) -> str:
+    rows = ["<table><tr><th>experiment</th><th>shape</th>"
+            "<th>total cycles</th><th>top path</th>"
+            "<th>reload p99</th></tr>"]
+    for record in records:
+        derived = record.get("derived", {})
+        reload_path = derived.get("reload", {})
+        rows.append(
+            f'<tr><td><a href="#{_esc(record["id"])}">'
+            f"{_esc(record['id'])}</a> {_esc(record.get('title', ''))}</td>"
+            f"<td>{_fmt(bool(record.get('shape_holds')))}</td>"
+            f"<td>{_fmt(derived.get('total_cycles', 0))}</td>"
+            f"<td>{_esc(derived.get('attribution', {}).get('top', ''))}</td>"
+            f"<td>{_fmt(reload_path.get('p99', ''))}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def render_report(doc: Dict, title: Optional[str] = None) -> str:
+    """The full dashboard HTML for a validated bench doc."""
+    records = doc.get("experiments", [])
+    summary = doc.get("summary", {})
+    heading = title or "MMU tricks — perf observatory report"
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(heading)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(heading)}</h1>",
+        f'<p class="meta">{_fmt(summary.get("experiments", len(records)))} '
+        f"experiments &middot; {_fmt(summary.get('shapes_holding', 0))} "
+        "paper shapes holding &middot; derived by the flight recorder "
+        "(repro.obs)</p>",
+        _summary_table(records),
+    ]
+    for record in records:
+        parts.append(_experiment_section(record))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

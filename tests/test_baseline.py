@@ -1,0 +1,261 @@
+"""Tests for ``repro.obs.baseline`` — the regression sentinel.
+
+Units over the tolerance policy (validation, prefix matching, exact
+and ratio checks), verdict accounting over hand-built bench docs, and
+the ``repro bench compare`` CLI exit-code contract: 0 on a matching
+pair, 1 on a regression, 2 on unusable inputs.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import baseline
+from repro.obs.metrics import BENCH_SCHEMA, validate_bench_doc
+
+
+def record(number, cycles=100, shape=True, measured=None):
+    return {
+        "id": f"E{number}",
+        "title": f"experiment {number}",
+        "machines": ["604e/200"],
+        "total_cycles": cycles,
+        "shape_holds": shape,
+        "measured": dict(measured or {"ratio": 2.5}),
+        "paper": {},
+        "derived": {"counters": {"tlb_miss": 7 * number}},
+    }
+
+
+def doc(records, timings=None):
+    built = {
+        "schema_version": BENCH_SCHEMA,
+        "source": "test fixture",
+        "experiments": records,
+        "summary": {
+            "experiments": len(records),
+            "shapes_holding": sum(
+                1 for r in records if r["shape_holds"]
+            ),
+            "total_cycles": sum(r["total_cycles"] for r in records),
+        },
+    }
+    if timings is not None:
+        built["timings"] = timings
+    validate_bench_doc(built)
+    return built
+
+
+class TestPolicy:
+    def test_default_policy_is_valid(self):
+        assert baseline.validate_policy(baseline.DEFAULT_POLICY) == []
+
+    def test_schema_skew_reported(self):
+        policy = copy.deepcopy(baseline.DEFAULT_POLICY)
+        policy["schema_version"] = 99
+        assert any(
+            "schema_version" in p for p in baseline.validate_policy(policy)
+        )
+
+    def test_bad_kind_reported(self):
+        policy = {
+            "schema_version": 1,
+            "rules": [{"prefix": "x.", "kind": "fuzzy"}],
+            "default": {"kind": "exact", "severity": "fail"},
+        }
+        assert any("kind" in p for p in baseline.validate_policy(policy))
+
+    def test_ratio_rule_needs_band(self):
+        policy = {
+            "schema_version": 1,
+            "rules": [{"prefix": "x.", "kind": "ratio", "max_ratio": 1}],
+            "default": {"kind": "exact", "severity": "fail"},
+        }
+        assert any(
+            "max_ratio" in p for p in baseline.validate_policy(policy)
+        )
+
+    def test_first_prefix_match_wins(self):
+        policy = {
+            "schema_version": 1,
+            "rules": [
+                {"prefix": "a.b.", "kind": "ignore"},
+                {"prefix": "a.", "kind": "ratio", "max_ratio": 2.0,
+                 "severity": "warn"},
+            ],
+            "default": {"kind": "exact", "severity": "fail"},
+        }
+        assert baseline.rule_for("a.b.c", policy)["kind"] == "ignore"
+        assert baseline.rule_for("a.x", policy)["kind"] == "ratio"
+        assert baseline.rule_for("z", policy)["kind"] == "exact"
+
+    def test_load_policy_rejects_invalid_file(self, tmp_path):
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps({"schema_version": 1, "rules": 5}))
+        with pytest.raises(ValueError, match="rules"):
+            baseline.load_policy(path)
+
+
+class TestCompareDocs:
+    def test_identical_docs_are_ok(self):
+        fixture = doc([record(1), record(2)])
+        verdict = baseline.compare_docs(fixture, copy.deepcopy(fixture))
+        assert verdict.ok
+        assert verdict.findings == []
+        assert verdict.checked > 0
+
+    def test_perturbed_deterministic_leaf_is_a_regression(self):
+        old = doc([record(1)])
+        new = copy.deepcopy(old)
+        new["experiments"][0]["measured"]["ratio"] = 9.9
+        verdict = baseline.compare_docs(old, new)
+        assert not verdict.ok
+        (finding,) = verdict.regressions
+        assert finding.key == "experiments.E1.measured.ratio"
+        assert finding.kind == "exact"
+
+    def test_shape_flip_is_a_regression(self):
+        old = doc([record(1)])
+        new = doc([record(1, shape=False)])
+        verdict = baseline.compare_docs(old, new)
+        assert any(
+            "shape_holds" in f.key for f in verdict.regressions
+        )
+
+    def test_timing_inside_band_passes(self):
+        old = doc([record(1)], timings={"E1": 1.0})
+        new = doc([record(1)], timings={"E1": 3.0})
+        verdict = baseline.compare_docs(old, new)
+        assert verdict.ok
+        assert verdict.findings == []
+
+    def test_timing_outside_band_warns_only(self):
+        old = doc([record(1)], timings={"E1": 0.01})
+        new = doc([record(1)], timings={"E1": 10.0})
+        verdict = baseline.compare_docs(old, new)
+        assert verdict.ok  # warn severity does not gate
+        (finding,) = verdict.warnings
+        assert finding.key == "timings.E1"
+        assert "band" in finding.note
+
+    def test_timing_zero_crossing_warns(self):
+        old = doc([record(1)], timings={"E1": 0.0})
+        new = doc([record(1)], timings={"E1": 2.0})
+        verdict = baseline.compare_docs(old, new)
+        assert verdict.ok
+        assert any("zero" in f.note for f in verdict.warnings)
+
+    def test_missing_and_extra_leaves_are_findings(self):
+        old = doc([record(1), record(2)])
+        new = doc([record(1)])
+        verdict = baseline.compare_docs(old, new)
+        assert not verdict.ok
+        gone = [f for f in verdict.regressions
+                if f.key.startswith("experiments.E2.")]
+        assert gone and all(f.new is None for f in gone)
+        reversed_verdict = baseline.compare_docs(new, old)
+        appeared = [f for f in reversed_verdict.regressions
+                    if f.key.startswith("experiments.E2.")]
+        assert appeared and all(f.baseline is None for f in appeared)
+
+    def test_ignore_rule_skips_leaves(self):
+        policy = {
+            "schema_version": 1,
+            "rules": [{"prefix": "experiments.E1.derived.",
+                       "kind": "ignore"}],
+            "default": {"kind": "exact", "severity": "fail"},
+        }
+        old = doc([record(1)])
+        new = copy.deepcopy(old)
+        new["experiments"][0]["derived"]["counters"]["tlb_miss"] = 999
+        verdict = baseline.compare_docs(old, new, policy)
+        assert verdict.ok
+        assert verdict.ignored > 0
+
+
+class TestRenderVerdict:
+    def test_ok_verdict(self):
+        verdict = baseline.compare_docs(doc([record(1)]),
+                                        doc([record(1)]))
+        text = baseline.render_verdict(verdict, "base.json", "new.json")
+        assert text.endswith(
+            "VERDICT: ok — the benchmark trajectory matches the baseline"
+        )
+
+    def test_regression_verdict_lists_findings(self):
+        old = doc([record(1)])
+        new = copy.deepcopy(old)
+        new["experiments"][0]["total_cycles"] = 1
+        new["summary"]["total_cycles"] = 1
+        text = baseline.render_verdict(
+            baseline.compare_docs(old, new), "a", "b"
+        )
+        assert "[fail]" in text
+        assert "REGRESSION" in text.splitlines()[-1]
+
+    def test_finding_limit(self):
+        old = doc([record(1, measured={f"k{i}": i for i in range(30)})])
+        new = doc([record(1, measured={f"k{i}": i + 1
+                                       for i in range(30)})])
+        text = baseline.render_verdict(
+            baseline.compare_docs(old, new), "a", "b", limit=5
+        )
+        assert "... 25 more findings" in text
+
+
+def run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "bench", "compare", *argv],
+        capture_output=True, text=True,
+    )
+
+
+class TestCompareCli:
+    def write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_matching_pair_exits_zero(self, tmp_path):
+        fixture = doc([record(1)])
+        a = self.write(tmp_path, "a.json", fixture)
+        b = self.write(tmp_path, "b.json", fixture)
+        proc = run_cli(a, b)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "VERDICT: ok" in proc.stdout
+
+    def test_regression_exits_one_and_writes_verdict(self, tmp_path):
+        old = doc([record(1)])
+        new = copy.deepcopy(old)
+        new["experiments"][0]["derived"]["counters"]["tlb_miss"] = 1234
+        a = self.write(tmp_path, "a.json", old)
+        b = self.write(tmp_path, "b.json", new)
+        out = tmp_path / "verdict.json"
+        proc = run_cli(a, b, "--json", "--out", str(out))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is False
+        assert payload["regressions"] == 1
+        assert json.loads(out.read_text()) == payload
+
+    def test_unreadable_input_exits_two(self, tmp_path):
+        a = self.write(tmp_path, "a.json", doc([record(1)]))
+        broken = tmp_path / "broken.json"
+        broken.write_text("not json")
+        proc = run_cli(a, str(broken))
+        assert proc.returncode == 2
+
+    def test_schema_skew_exits_two(self, tmp_path):
+        fixture = doc([record(1)])
+        stale = copy.deepcopy(fixture)
+        stale["schema_version"] = 2
+        a = self.write(tmp_path, "a.json", stale)
+        b = self.write(tmp_path, "b.json", fixture)
+        proc = run_cli(a, b)
+        assert proc.returncode == 2
+        assert "schema_version" in proc.stderr

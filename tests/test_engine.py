@@ -17,9 +17,11 @@ paper-scale runs live in ``benchmarks/``.
 from __future__ import annotations
 
 import dataclasses
+import json
 
 import pytest
 
+from repro import obs
 from repro.analysis import cache as cache_mod
 from repro.analysis import engine, specs
 from repro.analysis.cache import ResultCache, spec_fingerprint
@@ -150,6 +152,48 @@ class TestCache:
         assert store.load(spec.id, "0" * 16) is None
 
 
+class TestDerive:
+    def test_derive_does_not_perturb_measured(self):
+        spec = engine.spec_for("E1")
+        bare = engine.execute(spec)
+        derived = engine.execute(spec, derive=True)
+        assert derived.measured == bare.measured
+        assert derived.shape_holds == bare.shape_holds
+        assert bare.derived == {}
+        assert derived.derived
+
+    def test_derived_block_sections(self):
+        result = engine.execute(engine.spec_for("E1"), derive=True)
+        block = result.derived
+        assert block["total_cycles"] > 0
+        assert "attribution" in block
+        assert "counters" in block
+        assert "histograms" in block
+        # The derive wrapper traces, so span sections are present too.
+        assert "events" in block
+        # The block must already be JSON-round-tripped (cache-identical).
+        assert block == json.loads(json.dumps(block))
+
+    def test_derived_identical_cached_vs_fresh(self):
+        spec = engine.spec_for("E1")
+        cold, _wall, cold_hit = engine.run_cached(spec)
+        warm, _wall, warm_hit = engine.run_cached(spec)
+        assert not cold_hit and warm_hit
+        assert cold.derived
+        assert warm.derived == cold.derived
+
+    def test_derive_defers_to_active_global_observability(self):
+        obs.enable_global_observability(profile=True)
+        try:
+            result = engine.execute(engine.spec_for("E1"), derive=True)
+            observed = obs.drain_global_observed()
+        finally:
+            obs.disable_global_observability()
+        # The outer caller owns the handles; derive must not steal them.
+        assert result.derived == {}
+        assert observed
+
+
 class TestFingerprint:
     def test_stable_across_calls(self):
         spec = engine.spec_for("E1")
@@ -188,7 +232,7 @@ class TestFingerprint:
 class TestResultRecord:
     def test_record_is_derivable_from_cached_result(self):
         spec = engine.spec_for("E1")
-        fresh = engine.execute(spec)
+        fresh = engine.execute(spec, derive=True)
         engine.run_cached(spec)  # populate
         cached, _wall, hit = engine.run_cached(spec)
         assert hit

@@ -487,6 +487,108 @@ class TestInvariantRegistration:
         assert "check_htab" in finding.message
 
 
+ANALYTICS_FILES = {
+    "obs/profiler.py": """\
+        PATH_CATEGORIES = {
+            "mem": "memory",
+            "flush": "mmu",
+        }
+    """,
+    "obs/events.py": """\
+        EVENT_NAMES = {
+            "ctxsw": "context switch",
+            "syscall:*": "syscall entry",
+        }
+    """,
+    "obs/analytics.py": """\
+        CATEGORY_SPANS = {
+            "memory": ("ctxsw",),
+            "mmu": (),
+            "other": (),
+        }
+        INSTANT_EVENTS = ("syscall:*",)
+    """,
+}
+
+
+class TestAnalyticsCoverage:
+    def test_fully_consumed_registries_clean(self, tmp_path):
+        result = run_lint(tmp_path, dict(ANALYTICS_FILES),
+                          rules=single_rule("analytics-coverage"))
+        assert result.findings == []
+
+    def test_missing_consumer_module_flagged(self, tmp_path):
+        files = dict(ANALYTICS_FILES)
+        del files["obs/analytics.py"]
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("analytics-coverage"))
+        (finding,) = result.findings
+        assert "obs/analytics.py" in finding.message
+
+    def test_unconsumed_path_category_flagged(self, tmp_path):
+        files = dict(ANALYTICS_FILES)
+        files["obs/profiler.py"] = """\
+            PATH_CATEGORIES = {
+                "mem": "memory",
+                "flush": "mmu",
+                "dark": "unplotted",
+            }
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("analytics-coverage"))
+        (finding,) = result.findings
+        assert finding.path == "obs/profiler.py"
+        assert "'unplotted'" in finding.message
+
+    def test_unconsumed_fallback_category_flagged(self, tmp_path):
+        files = dict(ANALYTICS_FILES)
+        files["obs/analytics.py"] = """\
+            CATEGORY_SPANS = {
+                "memory": ("ctxsw",),
+                "mmu": (),
+            }
+            INSTANT_EVENTS = ("syscall:*",)
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("analytics-coverage"))
+        (finding,) = result.findings
+        assert "'other'" in finding.message
+
+    def test_unconsumed_event_flagged(self, tmp_path):
+        files = dict(ANALYTICS_FILES)
+        files["obs/events.py"] = """\
+            EVENT_NAMES = {
+                "ctxsw": "context switch",
+                "syscall:*": "syscall entry",
+                "ghost": "recorded, never derived",
+            }
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("analytics-coverage"))
+        (finding,) = result.findings
+        assert finding.path == "obs/events.py"
+        assert "'ghost'" in finding.message
+
+    def test_wildcard_satisfied_by_prefixed_literal(self, tmp_path):
+        files = dict(ANALYTICS_FILES)
+        files["obs/analytics.py"] = """\
+            CATEGORY_SPANS = {
+                "memory": ("ctxsw",),
+                "mmu": (),
+                "other": (),
+            }
+            INSTANT_EVENTS = ("syscall:fork",)
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("analytics-coverage"))
+        assert result.findings == []
+
+    def test_no_registries_no_findings(self, tmp_path):
+        result = run_lint(tmp_path, {"kernel/a.py": "x = 1\n"},
+                          rules=single_rule("analytics-coverage"))
+        assert result.findings == []
+
+
 # -- pragmas and baseline ----------------------------------------------------
 
 
@@ -759,6 +861,60 @@ class TestMutations:
         assert rules == {"experiment-registry"}
         assert any(
             "'E8'" in f.message and "EXPERIMENTS.md" in f.message
+            for f in result.findings
+        )
+
+    def test_adding_event_without_derivation_fires(self, tmp_path):
+        def mutate(root):
+            path = root / "obs/events.py"
+            source = path.read_text()
+            mutated = source.replace(
+                '"ctxsw":',
+                '"ghost-span": "a span nobody derives",\n    "ctxsw":',
+                1,
+            )
+            assert mutated != source
+            path.write_text(mutated)
+
+        result = LintEngine(mutated_package(tmp_path, mutate)).run()
+        rules = {f.rule for f in result.findings}
+        assert rules == {"analytics-coverage"}
+        assert any("'ghost-span'" in f.message for f in result.findings)
+
+    def test_deleting_analytics_literal_fires(self, tmp_path):
+        def mutate(root):
+            path = root / "obs/analytics.py"
+            source = path.read_text()
+            mutated = re.sub(r'\s*"pipe-create",\n', "\n", source, count=1)
+            assert mutated != source
+            path.write_text(mutated)
+
+        result = LintEngine(mutated_package(tmp_path, mutate)).run()
+        rules = {f.rule for f in result.findings}
+        assert rules == {"analytics-coverage"}
+        assert any("'pipe-create'" in f.message for f in result.findings)
+
+    def test_adding_taxonomy_value_without_derivation_fires(self, tmp_path):
+        def mutate(root):
+            path = root / "obs/profiler.py"
+            source = path.read_text()
+            mutated = source.replace(
+                "PATH_CATEGORIES: Dict[str, str] = {",
+                'PATH_CATEGORIES: Dict[str, str] = {\n'
+                '    "ghost-raw": "ghost-cat",',
+                1,
+            )
+            assert mutated != source
+            path.write_text(mutated)
+
+        result = LintEngine(mutated_package(tmp_path, mutate)).run()
+        # The unconsumed value trips the analytics closure; the unused
+        # key additionally trips the ledger-taxonomy closure.
+        rules = {f.rule for f in result.findings}
+        assert "analytics-coverage" in rules
+        assert rules <= {"analytics-coverage", "ledger-taxonomy"}
+        assert any(
+            f.rule == "analytics-coverage" and "'ghost-cat'" in f.message
             for f in result.findings
         )
 

@@ -282,8 +282,10 @@ class TestMetrics:
     def test_bench_aggregation(self, tmp_path):
         for number, cycles in ((2, 100), (10, 50), (1, 7)):
             metrics.write_experiment_record(
-                {"id": f"E{number}", "total_cycles": cycles,
-                 "shape_holds": True},
+                {"id": f"E{number}", "title": f"experiment {number}",
+                 "machines": ["604e/200"], "total_cycles": cycles,
+                 "shape_holds": True, "measured": {}, "paper": {},
+                 "derived": {}},
                 tmp_path,
             )
         (tmp_path / "notes.json").write_text("{}")  # ignored: not E<n>.json

@@ -1,0 +1,154 @@
+"""Tests for ``repro.obs.report`` and the ``repro report`` CLI.
+
+The dashboard's contract is byte determinism: the renderer is a pure
+function of the bench doc, and the CLI builds that doc without the
+wall-clock timings section — so repeated invocations, cached or not,
+serial or parallel, must produce identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+from repro.obs import report
+from repro.obs.metrics import BENCH_SCHEMA
+
+
+def fixture_doc():
+    derived = {
+        "total_cycles": 1000,
+        "machines": ["604e/200"],
+        "simulators": 1,
+        "attribution": {
+            "cycles": {"user-compute": 600, "tlb-reload": 400},
+            "shares": {"user-compute": 0.6, "tlb-reload": 0.4},
+            "top": "user-compute",
+        },
+        "counters": {"tlb_miss": 12},
+        "spans": {},
+        "categories": {
+            "tlb-reload": {"count": 4, "total_cycles": 400, "mean": 100.0,
+                           "max": 130, "p50": 90, "p90": 120, "p99": 130},
+        },
+        "reload": {"count": 4, "total_cycles": 400, "mean": 100.0,
+                   "max": 130, "p50": 90, "p90": 120, "p99": 130},
+        "timeline": {
+            "samplers": 1, "samples": 3, "every_us": 500.0,
+            "live": {"min": 1, "max": 5, "mean": 3.0, "final": 5},
+            "zombie": {"min": 0, "max": 2, "mean": 1.0, "final": 0},
+            "occupancy": {"min": 0.1, "max": 0.5, "mean": 0.3,
+                          "final": 0.5},
+            "series": {"us": [0.0, 500.0, 1000.0],
+                       "live": [1, 3, 5], "zombie": [2, 1, 0]},
+        },
+        "histograms": {
+            "occupancy": {"buckets": 4, "total": 6, "nonzero_fraction": 0.5,
+                          "max_load": 4, "hot_spot_ratio": 2.67,
+                          "top_share": 0.667, "entropy_efficiency": 0.46,
+                          "bars": [0, 4, 2, 0]},
+            "miss": {"buckets": 4, "total": 0, "nonzero_fraction": 0.0,
+                     "max_load": 0, "hot_spot_ratio": 0.0,
+                     "top_share": 0.0, "entropy_efficiency": 1.0,
+                     "bars": [0, 0, 0, 0]},
+        },
+    }
+    record = {
+        "id": "E5",
+        "title": "reload path comparison",
+        "machines": ["604e/200"],
+        "total_cycles": 1000,
+        "shape_holds": True,
+        "measured": {"ratio": 2.5},
+        "paper": {"ratio": 2.4},
+        "derived": derived,
+        "notes": "fixture",
+    }
+    return {
+        "schema_version": BENCH_SCHEMA,
+        "source": "test fixture",
+        "experiments": [record],
+        "summary": {"experiments": 1, "shapes_holding": 1,
+                    "total_cycles": 1000},
+    }
+
+
+class TestRenderReport:
+    def test_renderer_is_deterministic(self):
+        doc = fixture_doc()
+        assert report.render_report(doc) == report.render_report(doc)
+
+    def test_self_contained_html(self):
+        html = report.render_report(fixture_doc())
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</body></html>\n")
+        # Inline assets only: no external references of any kind.
+        assert "http" not in html
+        assert "<script" not in html
+
+    def test_sections_present(self):
+        html = report.render_report(fixture_doc())
+        assert 'id="E5"' in html
+        assert "paper Table 1" in html
+        assert "shape holds" in html
+        assert "<svg" in html
+        assert "<polyline" in html
+        assert "reload path (Table 1)" in html
+        assert "entropy efficiency" in html
+
+    def test_empty_histogram_omitted(self):
+        html = report.render_report(fixture_doc())
+        # The miss histogram has total 0 and must not render a section.
+        assert "miss histogram" not in html
+
+    def test_custom_title_escaped(self):
+        html = report.render_report(fixture_doc(), title="<tricks>")
+        assert "<title>&lt;tricks&gt;</title>" in html
+
+    def test_shape_broken_badge(self):
+        doc = fixture_doc()
+        doc["experiments"][0]["shape_holds"] = False
+        doc["summary"]["shapes_holding"] = 0
+        assert "shape broken" in report.render_report(doc)
+
+
+def run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True,
+    )
+
+
+class TestReportCli:
+    def test_from_doc_is_byte_deterministic(self, tmp_path):
+        doc_path = tmp_path / "bench.json"
+        doc_path.write_text(json.dumps(fixture_doc()))
+        outs = []
+        for name in ("a.html", "b.html"):
+            out = tmp_path / name
+            proc = run_cli("report", "--from", str(doc_path),
+                           "--out", str(out))
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+            outs.append(out.read_bytes())
+        assert outs[0] == outs[1]
+
+    def test_run_ids_byte_identical_across_jobs(self, tmp_path):
+        outs = []
+        for name, jobs in (("serial.html", "1"), ("parallel.html", "2")):
+            out = tmp_path / name
+            proc = run_cli("report", "E1", "E12", "--jobs", jobs,
+                           "--out", str(out))
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+            outs.append(out.read_bytes())
+        assert outs[0] == outs[1]
+        assert b'id="E1"' in outs[0]
+        assert b'id="E12"' in outs[0]
+
+    def test_invalid_doc_is_an_error(self, tmp_path):
+        doc_path = tmp_path / "bench.json"
+        doc_path.write_text(json.dumps({"schema_version": 2,
+                                        "experiments": []}))
+        proc = run_cli("report", "--from", str(doc_path),
+                       "--out", str(tmp_path / "x.html"))
+        assert proc.returncode != 0
