@@ -29,7 +29,10 @@ from repro.analysis.spec import ExperimentResult, ExperimentSpec
 
 #: Bump when the entry format changes; old entries are ignored.
 #: v2: results carry the observatory's ``derived`` block.
-CACHE_SCHEMA = 2
+#: v3: array-backed hot core — results are bit-identical to v2, but the
+#: rewrite touched every kernel that feeds an entry, so cached v2 runs
+#: are retired rather than trusted across the swap.
+CACHE_SCHEMA = 3
 
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -38,6 +38,7 @@ from repro.params import (
     M604_200,
     MachineSpec,
     PAGE_SIZE,
+    SEGMENT_SHIFT,
 )
 from repro.perf.histogram import occupancy_histogram
 from repro.sim.simulator import Simulator, boot
@@ -97,7 +98,7 @@ def _measure_e1(
 
 def _shape_e1(m: Dict[str, object]) -> bool:
     return bool(
-        m["segment"] == (m["ea"] >> 28)  # type: ignore[operator]
+        m["segment"] == (m["ea"] >> SEGMENT_SHIFT)  # type: ignore[operator]
         and m["va_bits"] <= 52  # type: ignore[operator]
         and m["hash2"] == (~m["hash1"]) & ((1 << 19) - 1)  # type: ignore[operator]
     )

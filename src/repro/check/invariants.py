@@ -17,14 +17,14 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.kernel.vsid import ContextCounterVsids, kernel_vsids
-from repro.params import PAGE_SHIFT
+from repro.params import PAGE_SHIFT, SEGMENT_SHIFT
 
 Record = Callable[[str, str], object]
 
 
 def _owner_pte(mm, segment: int, page_index: int):
     """Linux PTE backing a cached translation owned by (mm, segment)."""
-    ea = (segment << 28) | (page_index << PAGE_SHIFT)
+    ea = (segment << SEGMENT_SHIFT) | (page_index << PAGE_SHIFT)
     pte = mm.page_table.lookup(ea).pte
     if pte is None or not pte.present:
         return None, ea

@@ -23,7 +23,7 @@ from repro.check.invariants import full_sweep
 from repro.check.report import ViolationReporter
 from repro.check.shadow import ShadowMMU
 from repro.hw.access import AccessKind
-from repro.params import PAGE_SHIFT
+from repro.params import PAGE_INDEX_MASK, PAGE_SHIFT
 
 
 class Sanitizer:
@@ -108,7 +108,7 @@ class Sanitizer:
 
     def after_page_flush(self, mm, ea: int, vsid: int) -> None:
         """A single-page flush committed: nothing may still match it."""
-        page_index = (ea >> PAGE_SHIFT) & 0xFFFF
+        page_index = (ea >> PAGE_SHIFT) & PAGE_INDEX_MASK
         pte = self.machine.htab.peek(vsid, page_index)
         if pte is not None:
             self._record(

@@ -21,7 +21,12 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.hw.access import AccessKind
 from repro.kernel.vsid import NUM_USER_SEGMENTS, kernel_vsids
-from repro.params import KERNELBASE, PAGE_SHIFT
+from repro.params import (
+    KERNELBASE,
+    NUM_SEGMENT_REGISTERS,
+    PAGE_SHIFT,
+    SEGMENT_SHIFT,
+)
 
 
 class ShadowMMU:
@@ -65,7 +70,7 @@ class ShadowMMU:
 
     def expected_vsid(self, ea: int) -> Optional[int]:
         """The VSID the segment registers should supply for ``ea``."""
-        segment = (ea >> 28) & 0xF
+        segment = (ea >> SEGMENT_SHIFT) & (NUM_SEGMENT_REGISTERS - 1)
         if segment >= NUM_USER_SEGMENTS:
             return kernel_vsids()[segment - NUM_USER_SEGMENTS]
         task = self.kernel.current_task
@@ -90,7 +95,7 @@ class ShadowMMU:
 
     def frame_for_owner(self, mm, segment: int, page_index: int) -> Optional[int]:
         """Expected frame for a cached (VSID-owned) translation."""
-        ea = (segment << 28) | (page_index << PAGE_SHIFT)
+        ea = (segment << SEGMENT_SHIFT) | (page_index << PAGE_SHIFT)
         pte = mm.page_table.lookup(ea).pte
         if pte is None or not pte.present:
             return None

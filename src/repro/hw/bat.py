@@ -111,22 +111,36 @@ class BatArray:
     def __init__(self):
         self.ibats = [BatRegister() for _ in range(NUM_IBATS)]
         self.dbats = [BatRegister() for _ in range(NUM_DBATS)]
+        self._rebuild()
 
     def _bank(self, instruction: bool):
         return self.ibats if instruction else self.dbats
+
+    def _rebuild(self) -> None:
+        # Valid BATs only, with the architected compare pre-masked: the
+        # lookup hot path scans ``(~bl, bepi & ~bl, bat)`` triples and
+        # most banks are empty or one entry, so a miss costs almost
+        # nothing instead of four method calls.
+        self._valid = (
+            [(~bat.bl, bat.bepi & ~bat.bl, bat) for bat in self.ibats if bat.valid],
+            [(~bat.bl, bat.bepi & ~bat.bl, bat) for bat in self.dbats if bat.valid],
+        )
 
     def set(self, index: int, bat: BatRegister, instruction: bool) -> None:
         bank = self._bank(instruction)
         if not 0 <= index < len(bank):
             raise ConfigError(f"BAT index out of range: {index}")
         bank[index] = bat
+        self._rebuild()
 
     def clear(self, index: int, instruction: bool) -> None:
         self._bank(instruction)[index] = BatRegister()
+        self._rebuild()
 
     def clear_all(self) -> None:
         self.ibats = [BatRegister() for _ in range(NUM_IBATS)]
         self.dbats = [BatRegister() for _ in range(NUM_DBATS)]
+        self._rebuild()
 
     def lookup(self, ea: int, instruction: bool) -> Optional[BatRegister]:
         """First matching valid BAT, or None.
@@ -135,8 +149,9 @@ class BatArray:
         (results are undefined); the simulator takes the lowest-numbered
         match, and the kernel layer never programs overlaps.
         """
-        for bat in self._bank(instruction):
-            if bat.matches(ea):
+        block = ea >> _BEPI_SHIFT
+        for inv_bl, masked_bepi, bat in self._valid[0 if instruction else 1]:
+            if block & inv_bl == masked_bepi:
                 return bat
         return None
 

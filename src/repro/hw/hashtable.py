@@ -18,23 +18,38 @@ first looks for an *invalid* slot in either bucket and, failing that,
 "chose an arbitrary PTE to replace" — modelled as a per-table round-robin
 pointer, counted as an *evict*.  The idle-task zombie reclaim exists to
 keep invalid slots available so those evicts stop happening.
+
+Representation: the table is struct-of-arrays — one flat list of packed
+``(vsid << 32) | page_index`` tag keys (-1 = never written), parallel
+bytearrays for the valid/H/R/C/WIMG/PP bits and a flat list of RPNs.
+Searches are C-speed ``list.index`` runs over an 8-slot window instead
+of per-object scans.  Callers that need a PTE *object* (the machine's
+reference/changed updates, the sanitizer, the analytics derivations) get
+a :class:`PteView` — a thin live view whose attribute writes go straight
+back into the arrays, preserving the old ``HashPte`` write-through
+semantics.  The ``*_counted`` variants additionally report which PTEG
+slots were examined so the hardware walker can charge its per-probe
+cache accesses in one batched run per bucket.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ConfigError
-from repro.hw.pte import HashPte
-from repro.params import HTAB_GROUPS, PTES_PER_GROUP
+from repro.hw.pte import HashPte, WIMG_CACHE_INHIBIT, pte_api
+from repro.params import HTAB_GROUPS, PAGE_INDEX_MASK, PTES_PER_GROUP
 
 _HASH_MASK_19 = (1 << 19) - 1
+
+#: Bits of the packed tag key holding the page index (VSID above them).
+_KEY_PAGE_BITS = 32
+_KEY_PAGE_MASK = (1 << _KEY_PAGE_BITS) - 1
 
 
 def primary_hash(vsid: int, page_index: int) -> int:
     """The architected 19-bit primary hash."""
-    return (vsid & _HASH_MASK_19) ^ (page_index & 0xFFFF)
+    return (vsid & _HASH_MASK_19) ^ (page_index & PAGE_INDEX_MASK)
 
 
 def secondary_hash(vsid: int, page_index: int) -> int:
@@ -42,16 +57,126 @@ def secondary_hash(vsid: int, page_index: int) -> int:
     return (~primary_hash(vsid, page_index)) & _HASH_MASK_19
 
 
-@dataclass
+class PteView:
+    """A live window onto one hash-table slot.
+
+    Mirrors the :class:`~repro.hw.pte.HashPte` attribute surface; writes
+    (``valid``, ``referenced``, ``changed``) go straight into the
+    table's arrays, so the machine's R/C updates and the sanitizer's
+    post-invalidation checks observe current state, exactly as they did
+    when slots held mutable dataclass instances.
+    """
+
+    __slots__ = ("_table", "_flat")
+
+    def __init__(self, table: "HashedPageTable", flat: int):
+        self._table = table
+        self._flat = flat
+
+    @property
+    def vsid(self) -> int:
+        return self._table._key[self._flat] >> _KEY_PAGE_BITS
+
+    @property
+    def page_index(self) -> int:
+        return self._table._key[self._flat] & _KEY_PAGE_MASK
+
+    @property
+    def rpn(self) -> int:
+        return self._table._rpn[self._flat]
+
+    @rpn.setter
+    def rpn(self, value: int) -> None:
+        self._table._rpn[self._flat] = value
+
+    @property
+    def valid(self) -> bool:
+        return bool(self._table._valid[self._flat])
+
+    @valid.setter
+    def valid(self, value: bool) -> None:
+        table = self._table
+        flat = self._flat
+        new = 1 if value else 0
+        old = table._valid[flat]
+        if new != old:
+            table._valid[flat] = new
+            table._valid_delta(flat, new - old)
+
+    @property
+    def secondary(self) -> bool:
+        return bool(self._table._sec[self._flat])
+
+    @secondary.setter
+    def secondary(self, value: bool) -> None:
+        self._table._sec[self._flat] = 1 if value else 0
+
+    @property
+    def referenced(self) -> bool:
+        return bool(self._table._ref[self._flat])
+
+    @referenced.setter
+    def referenced(self, value: bool) -> None:
+        self._table._ref[self._flat] = 1 if value else 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self._table._chg[self._flat])
+
+    @changed.setter
+    def changed(self, value: bool) -> None:
+        self._table._chg[self._flat] = 1 if value else 0
+
+    @property
+    def wimg(self) -> int:
+        return self._table._wimg[self._flat]
+
+    @property
+    def pp(self) -> int:
+        return self._table._pp[self._flat]
+
+    @property
+    def api(self) -> int:
+        return pte_api(self.page_index)
+
+    @property
+    def cache_inhibited(self) -> bool:
+        return bool(self._table._wimg[self._flat] & WIMG_CACHE_INHIBIT)
+
+    def matches(self, vsid: int, page_index: int, secondary: bool) -> bool:
+        """Hardware tag compare: V, VSID, H and API must all match."""
+        table = self._table
+        flat = self._flat
+        return (
+            bool(table._valid[flat])
+            and table._key[flat] == ((vsid << _KEY_PAGE_BITS) | page_index)
+            and bool(table._sec[flat]) == secondary
+        )
+
+    def snapshot(self) -> HashPte:
+        """A detached :class:`HashPte` copy of this slot's current state."""
+        return self._table._snapshot(self._flat)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PteView(slot={self._flat}, vsid={self.vsid:#x}, "
+            f"page_index={self.page_index:#x}, rpn={self.rpn}, "
+            f"valid={self.valid})"
+        )
+
+
 class PtegSearchResult:
     """Outcome of a hash-table search for one virtual page."""
 
-    pte: Optional[HashPte]
-    #: Memory references the hardware (or software emulating it) made:
-    #: PTEs examined across the probed bucket(s).
-    mem_refs: int
-    #: Buckets probed (1 if found in primary without secondary probe).
-    buckets_probed: int
+    __slots__ = ("pte", "mem_refs", "buckets_probed")
+
+    def __init__(self, pte, mem_refs: int, buckets_probed: int):
+        self.pte = pte
+        #: Memory references the hardware (or software emulating it) made:
+        #: PTEs examined across the probed bucket(s).
+        self.mem_refs = mem_refs
+        #: Buckets probed (1 if found in primary without secondary probe).
+        self.buckets_probed = buckets_probed
 
     @property
     def found(self) -> bool:
@@ -61,15 +186,40 @@ class PtegSearchResult:
 class HashedPageTable:
     """A fixed-size architected hash table of PTE groups."""
 
-    def __init__(self, groups: int = HTAB_GROUPS):
+    def __init__(
+        self,
+        groups: int = HTAB_GROUPS,
+        ptes_per_group: int = PTES_PER_GROUP,
+    ):
         if groups <= 0 or groups & (groups - 1):
             raise ConfigError(f"HTAB group count must be a power of two: {groups}")
+        if ptes_per_group <= 0:
+            raise ConfigError(
+                f"PTEG size must be positive: {ptes_per_group}"
+            )
         self.groups = groups
-        self.slots = groups * PTES_PER_GROUP
-        self._table: List[List[Optional[HashPte]]] = [
-            [None] * PTES_PER_GROUP for _ in range(groups)
-        ]
+        self.ptes_per_group = ptes_per_group
+        self.slots = groups * ptes_per_group
+        # Struct-of-arrays state; -1 marks a never-written slot.
+        self._key: List[int] = [-1] * self.slots
+        self._rpn: List[int] = [0] * self.slots
+        self._valid = bytearray(self.slots)
+        self._sec = bytearray(self.slots)
+        self._ref = bytearray(self.slots)
+        self._chg = bytearray(self.slots)
+        self._wimg = bytearray(self.slots)
+        self._pp = bytearray(self.slots)
         self._rr_pointer = 0
+        # Incremental valid-population bookkeeping, kept exactly in sync
+        # with ``_valid`` by every mutation path: total valid slots, the
+        # per-group load, and valid entries per VSID.  The observability
+        # sampler reads these every tick; maintaining them incrementally
+        # turns its per-sample cost from O(slots) into O(live VSIDs).
+        self._valid_total = 0
+        self._group_valid = (
+            bytearray(groups) if ptes_per_group <= 0xFF else [0] * groups
+        )
+        self._vsid_valid: Dict[int, int] = {}
         # Counters the paper reports on.
         self.searches = 0
         self.search_hits = 0
@@ -87,7 +237,109 @@ class HashedPageTable:
             return secondary_hash(vsid, page_index) & (self.groups - 1)
         return primary_hash(vsid, page_index) & (self.groups - 1)
 
+    def _snapshot(self, flat: int) -> HashPte:
+        key = self._key[flat]
+        return HashPte(
+            vsid=key >> _KEY_PAGE_BITS,
+            page_index=key & _KEY_PAGE_MASK,
+            rpn=self._rpn[flat],
+            valid=bool(self._valid[flat]),
+            secondary=bool(self._sec[flat]),
+            referenced=bool(self._ref[flat]),
+            changed=bool(self._chg[flat]),
+            wimg=self._wimg[flat],
+            pp=self._pp[flat],
+        )
+
+    def _valid_delta(self, flat: int, delta: int) -> None:
+        """Adjust the incremental valid-population counters for ``flat``.
+
+        Must run while ``_key[flat]`` still names the VSID whose valid
+        bit changed (i.e. decrement *before* overwriting a slot's key).
+        """
+        self._valid_total += delta
+        self._group_valid[flat // self.ptes_per_group] += delta
+        vsid = self._key[flat] >> _KEY_PAGE_BITS
+        counts = self._vsid_valid
+        remaining = counts.get(vsid, 0) + delta
+        if remaining:
+            counts[vsid] = remaining
+        else:
+            del counts[vsid]
+
+    def _store(self, flat: int, pte, secondary: bool) -> None:
+        if self._valid[flat]:
+            # The previous occupant's key is still in place; retire it
+            # from the population counts before overwriting.
+            self._valid_delta(flat, -1)
+        self._key[flat] = (pte.vsid << _KEY_PAGE_BITS) | pte.page_index
+        self._rpn[flat] = pte.rpn
+        self._valid[flat] = 1 if pte.valid else 0
+        if pte.valid:
+            self._valid_delta(flat, 1)
+        self._sec[flat] = 1 if secondary else 0
+        self._ref[flat] = 1 if pte.referenced else 0
+        self._chg[flat] = 1 if pte.changed else 0
+        self._wimg[flat] = pte.wimg & 0xF
+        self._pp[flat] = pte.pp & 0x3
+
+    def _find_in_group(self, group_index: int, key: int, secondary: int):
+        """First matching valid slot in one PTEG.
+
+        Returns ``(flat, examined)``; ``flat`` is -1 on a miss, in which
+        case the whole group (``ptes_per_group`` slots) was examined —
+        the paper's per-bucket worst case.
+        """
+        ppg = self.ptes_per_group
+        base = group_index * ppg
+        end = base + ppg
+        keys = self._key
+        valid = self._valid
+        sec = self._sec
+        pos = base
+        while True:
+            try:
+                pos = keys.index(key, pos, end)
+            except ValueError:
+                return -1, ppg
+            if valid[pos] and sec[pos] == secondary:
+                return pos, pos - base + 1
+            pos += 1
+
     # -- the hardware search (and its software emulation) --------------------
+
+    def search_counted(self, vsid: int, page_index: int):
+        """Probe primary then secondary bucket, reporting probe runs.
+
+        Returns ``(result, probes)`` where ``probes`` is a list of
+        ``(group_index, slots_examined)`` pairs — the consecutive slot
+        prefix of each PTEG the search touched, in probe order.  The
+        walker uses the runs to charge its per-probe cache accesses in
+        batches; ``result`` is identical to :meth:`search`.
+        """
+        self.searches += 1
+        key = (vsid << _KEY_PAGE_BITS) | page_index
+        mem_refs = 0
+        probes = []
+        for secondary in (0, 1):
+            group_index = self.group_index(vsid, page_index, bool(secondary))
+            flat, examined = self._find_in_group(group_index, key, secondary)
+            mem_refs += examined
+            probes.append((group_index, examined))
+            if flat >= 0:
+                self.search_hits += 1
+                result = PtegSearchResult(
+                    pte=PteView(self, flat),
+                    mem_refs=mem_refs,
+                    buckets_probed=1 + secondary,
+                )
+                return result, probes
+        primary_group = self.group_index(vsid, page_index, False)
+        self.bucket_miss_histogram[primary_group] += 1
+        return (
+            PtegSearchResult(pte=None, mem_refs=mem_refs, buckets_probed=2),
+            probes,
+        )
 
     def search(self, vsid: int, page_index: int, probe=None) -> PtegSearchResult:
         """Probe primary then secondary bucket for a matching valid PTE.
@@ -98,53 +350,120 @@ class HashedPageTable:
         walker, the software miss handlers) can charge cache costs per
         probe.
         """
+        if probe is None:
+            result, _ = self.search_counted(vsid, page_index)
+            return result
         self.searches += 1
+        key = (vsid << _KEY_PAGE_BITS) | page_index
+        keys = self._key
+        valid = self._valid
+        sec = self._sec
+        ppg = self.ptes_per_group
         mem_refs = 0
-        for secondary in (False, True):
-            group_index = self.group_index(vsid, page_index, secondary)
-            group = self._table[group_index]
-            for slot, pte in enumerate(group):
+        for secondary in (0, 1):
+            group_index = self.group_index(vsid, page_index, bool(secondary))
+            base = group_index * ppg
+            for slot in range(ppg):
                 mem_refs += 1
-                if probe is not None:
-                    probe(group_index, slot)
-                if pte is not None and pte.matches(vsid, page_index, secondary):
+                probe(group_index, slot)
+                flat = base + slot
+                if (
+                    valid[flat]
+                    and keys[flat] == key
+                    and sec[flat] == secondary
+                ):
                     self.search_hits += 1
                     return PtegSearchResult(
-                        pte=pte, mem_refs=mem_refs, buckets_probed=1 + secondary
+                        pte=PteView(self, flat),
+                        mem_refs=mem_refs,
+                        buckets_probed=1 + secondary,
                     )
             # A full bucket with no match falls through to the secondary.
         primary_group = self.group_index(vsid, page_index, False)
         self.bucket_miss_histogram[primary_group] += 1
         return PtegSearchResult(pte=None, mem_refs=mem_refs, buckets_probed=2)
 
-    def pte_at(self, group_index: int, slot: int) -> Optional[HashPte]:
+    def pte_at(self, group_index: int, slot: int) -> Optional[PteView]:
         """Direct slot read (for the walker and white-box tests)."""
-        return self._table[group_index][slot]
+        flat = group_index * self.ptes_per_group + slot
+        if self._key[flat] == -1:
+            return None
+        return PteView(self, flat)
 
-    def peek(self, vsid: int, page_index: int) -> Optional[HashPte]:
+    def peek(self, vsid: int, page_index: int) -> Optional[PteView]:
         """Search without touching counters or the miss histogram.
 
         For assertions and the coherence sanitizer, which must observe
         the table without perturbing the statistics the experiments
         measure.
         """
-        for secondary in (False, True):
-            group = self._table[self.group_index(vsid, page_index, secondary)]
-            for pte in group:
-                if pte is not None and pte.matches(vsid, page_index, secondary):
-                    return pte
+        key = (vsid << _KEY_PAGE_BITS) | page_index
+        for secondary in (0, 1):
+            group_index = self.group_index(vsid, page_index, bool(secondary))
+            flat, _ = self._find_in_group(group_index, key, secondary)
+            if flat >= 0:
+                return PteView(self, flat)
         return None
 
     def iter_valid(self):
         """Yield ``(group_index, slot, pte)`` for every valid PTE."""
-        for group_index, group in enumerate(self._table):
-            for slot, pte in enumerate(group):
-                if pte is not None and pte.valid:
-                    yield group_index, slot, pte
+        valid = self._valid
+        ppg = self.ptes_per_group
+        flat = valid.find(1)
+        while flat != -1:
+            group_index, slot = divmod(flat, ppg)
+            yield group_index, slot, PteView(self, flat)
+            flat = valid.find(1, flat + 1)
 
     # -- reload / insert ------------------------------------------------------
 
-    def insert(self, pte: HashPte, probe=None) -> dict:
+    def insert_counted(self, pte):
+        """Install a PTE, reporting probe runs like :meth:`search_counted`.
+
+        Returns ``(event, probes)`` where ``event`` is the dict
+        :meth:`insert` documents and ``probes`` the per-group examined
+        slot runs (the round-robin evict examines no extra slots).
+        """
+        self.reloads += 1
+        mem_refs = 0
+        probes = []
+        valid = self._valid
+        ppg = self.ptes_per_group
+        for secondary in (False, True):
+            index = self.group_index(pte.vsid, pte.page_index, secondary)
+            base = index * ppg
+            try:
+                flat = valid.index(0, base, base + ppg)
+            except ValueError:
+                mem_refs += ppg
+                probes.append((index, ppg))
+                continue
+            examined = flat - base + 1
+            mem_refs += examined
+            probes.append((index, examined))
+            pte.secondary = secondary
+            self._store(flat, pte, secondary)
+            if secondary:
+                self.insert_secondary += 1
+            return (
+                {"mem_refs": mem_refs, "evicted": False, "victim": None},
+                probes,
+            )
+        # No invalid slot anywhere: replace an arbitrary PTE (§7), chosen
+        # round-robin within the primary bucket.
+        index = self.group_index(pte.vsid, pte.page_index, False)
+        flat = index * ppg + self._rr_pointer % ppg
+        self._rr_pointer += 1
+        victim = self._snapshot(flat)
+        pte.secondary = False
+        self._store(flat, pte, False)
+        self.evicts += 1
+        return (
+            {"mem_refs": mem_refs, "evicted": True, "victim": victim},
+            probes,
+        )
+
+    def insert(self, pte, probe=None) -> dict:
         """Install a PTE, preferring invalid slots; evict round-robin else.
 
         Returns an event dict: ``{"mem_refs", "evicted", "victim"}`` where
@@ -152,35 +471,52 @@ class HashedPageTable:
         ``probe(group, slot)`` is called per slot examined, as in
         :meth:`search`.
         """
+        if probe is None:
+            event, _ = self.insert_counted(pte)
+            return event
         self.reloads += 1
         mem_refs = 0
+        valid = self._valid
+        ppg = self.ptes_per_group
         # Pass 1: a free (invalid) slot in primary, then secondary bucket.
         for secondary in (False, True):
             index = self.group_index(pte.vsid, pte.page_index, secondary)
-            group = self._table[index]
-            for slot, existing in enumerate(group):
+            base = index * ppg
+            for slot in range(ppg):
                 mem_refs += 1
-                if probe is not None:
-                    probe(index, slot)
-                if existing is None or not existing.valid:
+                probe(index, slot)
+                if not valid[base + slot]:
                     pte.secondary = secondary
-                    group[slot] = pte
+                    self._store(base + slot, pte, secondary)
                     if secondary:
                         self.insert_secondary += 1
                     return {"mem_refs": mem_refs, "evicted": False, "victim": None}
-        # No invalid slot anywhere: replace an arbitrary PTE (§7), chosen
-        # round-robin within the primary bucket.
         index = self.group_index(pte.vsid, pte.page_index, False)
-        group = self._table[index]
-        slot = self._rr_pointer % PTES_PER_GROUP
+        flat = index * ppg + self._rr_pointer % ppg
         self._rr_pointer += 1
-        victim = group[slot]
+        victim = self._snapshot(flat)
         pte.secondary = False
-        group[slot] = pte
+        self._store(flat, pte, False)
         self.evicts += 1
         return {"mem_refs": mem_refs, "evicted": True, "victim": victim}
 
     # -- invalidation ----------------------------------------------------------
+
+    def invalidate_counted(self, vsid: int, page_index: int):
+        """Search-and-invalidate, reporting probe runs (flush path)."""
+        key = (vsid << _KEY_PAGE_BITS) | page_index
+        mem_refs = 0
+        probes = []
+        for secondary in (0, 1):
+            group_index = self.group_index(vsid, page_index, bool(secondary))
+            flat, examined = self._find_in_group(group_index, key, secondary)
+            mem_refs += examined
+            probes.append((group_index, examined))
+            if flat >= 0:
+                self._valid[flat] = 0
+                self._valid_delta(flat, -1)
+                return {"mem_refs": mem_refs, "found": True}, probes
+        return {"mem_refs": mem_refs, "found": False}, probes
 
     def invalidate_entry(self, vsid: int, page_index: int, probe=None) -> dict:
         """Search-and-invalidate one translation (the expensive flush path).
@@ -188,27 +524,50 @@ class HashedPageTable:
         Returns ``{"mem_refs", "found"}``; the 16-reference worst case is
         exactly the cost §7 attributes to range flushes.
         """
+        if probe is None:
+            event, _ = self.invalidate_counted(vsid, page_index)
+            return event
+        key = (vsid << _KEY_PAGE_BITS) | page_index
+        keys = self._key
+        valid = self._valid
+        sec = self._sec
+        ppg = self.ptes_per_group
         mem_refs = 0
-        for secondary in (False, True):
-            group_index = self.group_index(vsid, page_index, secondary)
-            group = self._table[group_index]
-            for slot, pte in enumerate(group):
+        for secondary in (0, 1):
+            group_index = self.group_index(vsid, page_index, bool(secondary))
+            base = group_index * ppg
+            for slot in range(ppg):
                 mem_refs += 1
-                if probe is not None:
-                    probe(group_index, slot)
-                if pte is not None and pte.matches(vsid, page_index, secondary):
-                    pte.valid = False
+                probe(group_index, slot)
+                flat = base + slot
+                if (
+                    valid[flat]
+                    and keys[flat] == key
+                    and sec[flat] == secondary
+                ):
+                    valid[flat] = 0
+                    self._valid_delta(flat, -1)
                     return {"mem_refs": mem_refs, "found": True}
         return {"mem_refs": mem_refs, "found": False}
 
     def invalidate_all(self) -> int:
         """Clear the whole table; returns slots that were valid."""
-        cleared = 0
-        for group in self._table:
-            for slot in range(PTES_PER_GROUP):
-                if group[slot] is not None and group[slot].valid:
-                    cleared += 1
-                group[slot] = None
+        cleared = sum(self._valid)
+        slots = self.slots
+        self._key[:] = [-1] * slots
+        self._rpn[:] = [0] * slots
+        self._valid[:] = bytes(slots)
+        self._sec[:] = bytes(slots)
+        self._ref[:] = bytes(slots)
+        self._chg[:] = bytes(slots)
+        self._wimg[:] = bytes(slots)
+        self._pp[:] = bytes(slots)
+        self._valid_total = 0
+        if isinstance(self._group_valid, bytearray):
+            self._group_valid[:] = bytes(self.groups)
+        else:
+            self._group_valid = [0] * self.groups
+        self._vsid_valid.clear()
         return cleared
 
     # -- the idle task's view ---------------------------------------------------
@@ -219,26 +578,49 @@ class HashedPageTable:
         The idle task's zombie reclaim walks the table incrementally with
         this, remembering its position between idle periods.
         """
+        slots = self.slots
+        keys = self._key
         for offset in range(count):
-            flat = (start + offset) % self.slots
-            group, slot = divmod(flat, PTES_PER_GROUP)
-            yield flat, self._table[group][slot]
+            flat = (start + offset) % slots
+            yield flat, (PteView(self, flat) if keys[flat] != -1 else None)
+
+    def zombie_flats(self, start: int, count: int, vsid_is_live) -> List[int]:
+        """Flat indices of zombie slots in a scan window, in scan order.
+
+        A zombie is a valid PTE whose VSID the allocator no longer
+        considers live — the §7 entries the idle task reclaims.  The
+        window wraps at the table size like :meth:`scan_slots`; only
+        valid slots pay a liveness check, so sweeping a mostly-invalid
+        table is nearly free.
+        """
+        slots = self.slots
+        valid = self._valid
+        keys = self._key
+        out = []
+        position = start % slots
+        remaining = min(count, slots)
+        while remaining > 0:
+            run = min(remaining, slots - position)
+            end = position + run
+            flat = valid.find(1, position, end)
+            while flat != -1:
+                if not vsid_is_live(keys[flat] >> _KEY_PAGE_BITS):
+                    out.append(flat)
+                flat = valid.find(1, flat + 1, end)
+            remaining -= run
+            position = 0
+        return out
 
     def invalidate_slot(self, flat_index: int) -> None:
-        group, slot = divmod(flat_index % self.slots, PTES_PER_GROUP)
-        pte = self._table[group][slot]
-        if pte is not None:
-            pte.valid = False
+        flat = flat_index % self.slots
+        if self._key[flat] != -1 and self._valid[flat]:
+            self._valid[flat] = 0
+            self._valid_delta(flat, -1)
 
     # -- statistics ---------------------------------------------------------------
 
     def valid_entries(self) -> int:
-        return sum(
-            1
-            for group in self._table
-            for pte in group
-            if pte is not None and pte.valid
-        )
+        return self._valid_total
 
     def occupancy(self) -> float:
         """Fraction of slots holding valid PTEs — the paper's "use" metric."""
@@ -247,12 +629,17 @@ class HashedPageTable:
     def live_and_zombie_counts(
         self, vsid_is_live: Callable[[int], bool]
     ) -> tuple:
-        """Split valid entries into live vs zombie under a VSID predicate."""
-        live = zombie = 0
-        for group_live, group_zombie in self.live_zombie_histogram(vsid_is_live):
-            live += group_live
-            zombie += group_zombie
-        return live, zombie
+        """Split valid entries into live vs zombie under a VSID predicate.
+
+        Computed from the incrementally-maintained per-VSID population,
+        so it costs O(distinct VSIDs) rather than a full table scan —
+        the totals are identical to summing the histogram.
+        """
+        live = 0
+        for vsid, count in self._vsid_valid.items():
+            if vsid_is_live(vsid):
+                live += count
+        return live, self._valid_total - live
 
     def live_zombie_histogram(
         self, vsid_is_live: Callable[[int], bool]
@@ -262,15 +649,20 @@ class HashedPageTable:
         Counter-free, like :meth:`peek` — the observability sampler reads
         this every tick without perturbing the table's statistics.
         """
+        valid = self._valid
+        keys = self._key
+        ppg = self.ptes_per_group
         histogram = []
-        for group in self._table:
+        for base in range(0, self.slots, ppg):
             live = zombie = 0
-            for pte in group:
-                if pte is not None and pte.valid:
-                    if vsid_is_live(pte.vsid):
-                        live += 1
-                    else:
-                        zombie += 1
+            end = base + ppg
+            flat = valid.find(1, base, end)
+            while flat != -1:
+                if vsid_is_live(keys[flat] >> _KEY_PAGE_BITS):
+                    live += 1
+                else:
+                    zombie += 1
+                flat = valid.find(1, flat + 1, end)
             histogram.append((live, zombie))
         return histogram
 
@@ -283,10 +675,11 @@ class HashedPageTable:
 
     def bucket_load_histogram(self) -> List[int]:
         """Valid-PTE count per bucket (for hot-spot analysis, §5.2)."""
-        return [
-            sum(1 for pte in group if pte is not None and pte.valid)
-            for group in self._table
-        ]
+        return list(self._group_valid)
+
+    def hottest_bucket_load(self) -> int:
+        """Largest per-bucket valid-PTE count (the sampler's hot-spot)."""
+        return max(self._group_valid) if self.groups else 0
 
     def reset_stats(self) -> None:
         self.searches = self.search_hits = 0

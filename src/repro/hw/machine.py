@@ -26,19 +26,22 @@ from repro.hw.hashtable import HashedPageTable
 from repro.hw.monitor import HardwareMonitor
 from repro.hw.segment import SegmentRegisterFile
 from repro.hw.tlb import Tlb, TlbEntry
-from repro.hw.walker import HardwareWalker, PTE_BYTES
+from repro.hw.walker import HardwareWalker
 from repro.hw.clock import CycleLedger
 from repro.params import (
     C603_MISS_INVOKE_CYCLES,
     C604_HASH_MISS_INVOKE_CYCLES,
     HTAB_GROUPS,
     MachineSpec,
+    PAGE_OFFSET_MASK,
     PAGE_SHIFT,
+    PTE_BYTES,
+    PTES_PER_GROUP,
     RAM_BYTES,
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class TranslationResult:
     """Outcome of translating one effective address."""
 
@@ -49,7 +52,7 @@ class TranslationResult:
     cache_inhibited: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class RefillResult:
     """What the kernel's software refill handler hands back to hardware."""
 
@@ -70,6 +73,7 @@ class MachineModel:
         htab_groups: int = HTAB_GROUPS,
         ram_bytes: int = RAM_BYTES,
         cache_ptes: bool = True,
+        htab_ptes_per_group: int = PTES_PER_GROUP,
     ):
         self.spec = spec
         self.ram_bytes = ram_bytes
@@ -104,7 +108,9 @@ class MachineModel:
             word_cycles=spec.word_cycles,
             next_level=self.l2,
         )
-        self.htab = HashedPageTable(groups=htab_groups)
+        self.htab = HashedPageTable(
+            groups=htab_groups, ptes_per_group=htab_ptes_per_group
+        )
         htab_bytes = self.htab.slots * PTE_BYTES
         if htab_bytes >= ram_bytes:
             raise ConfigError("hash table does not fit in RAM")
@@ -168,7 +174,7 @@ class MachineModel:
         tlb = self.tlb_for(kind)
         entry = tlb.lookup(vsid, page_index)
         if entry is not None:
-            pa = physical_address(entry.ppn, ea & (1 << PAGE_SHIFT) - 1)
+            pa = physical_address(entry.ppn, ea & PAGE_OFFSET_MASK)
             return TranslationResult(
                 pa=pa,
                 cycles=0,
@@ -218,7 +224,7 @@ class MachineModel:
                 self.tracer.complete(
                     "hw-walk", "mmu", cycles, {"ea": hex(ea)}
                 )
-            pa = physical_address(entry.ppn, ea & (1 << PAGE_SHIFT) - 1)
+            pa = physical_address(entry.ppn, ea & PAGE_OFFSET_MASK)
             return TranslationResult(
                 pa=pa,
                 cycles=cycles,
@@ -247,7 +253,7 @@ class MachineModel:
         if refill.entry is None:
             raise TranslationError(ea, "refill handler could not map address")
         tlb.insert(refill.entry)
-        pa = physical_address(refill.entry.ppn, ea & (1 << PAGE_SHIFT) - 1)
+        pa = physical_address(refill.entry.ppn, ea & PAGE_OFFSET_MASK)
         return TranslationResult(
             pa=pa,
             cycles=cycles,
@@ -295,24 +301,39 @@ class MachineModel:
         """
         result = self.translate(ea, kind, write)
         cache = self.cache_for(kind)
-        total = result.cycles
-        line_size = cache.line_size
-        page_base = result.pa & ~0xFFF
-        miss_event = (
-            "icache_miss" if kind is AccessKind.INSTRUCTION else "dcache_miss"
+        page_base = result.pa & ~PAGE_OFFSET_MASK
+        mem_cycles, misses = cache.access_page_lines(
+            page_base,
+            first_line,
+            lines,
+            write=write,
+            inhibited=result.cache_inhibited,
         )
-        mem_cycles = 0
-        for index in range(first_line, first_line + lines):
-            cost = cache.access(
-                page_base + (index * line_size) % 4096,
-                write=write,
-                inhibited=result.cache_inhibited,
+        if misses and not result.cache_inhibited:
+            miss_event = (
+                "icache_miss" if kind is AccessKind.INSTRUCTION else "dcache_miss"
             )
-            if not result.cache_inhibited and cost > 1:
-                self.monitor.count(miss_event)
-            mem_cycles += cost
+            self._count_misses(miss_event, misses)
         self.clock.add(mem_cycles, "mem")
-        return total + mem_cycles
+        return result.cycles + mem_cycles
+
+    def _count_misses(self, miss_event: str, misses: int) -> None:
+        """Count a batch of cache-miss events, trace-exactly.
+
+        A single ``monitor.count(event, n)`` and ``n`` separate counts
+        leave identical counters, but a tracer whose monitor filter
+        selects the event would see one ``{"count": n}`` instant instead
+        of ``n`` instants.  The per-event loop is kept for exactly that
+        case (the default filter excludes the cache-miss events, so the
+        batched form is the one that normally runs).
+        """
+        monitor = self.monitor
+        tracer = monitor.tracer
+        if tracer is not None and miss_event in tracer.config.monitor_events:
+            for _ in range(misses):
+                monitor.count(miss_event)
+        else:
+            monitor.count(miss_event, misses)
 
     def prefetch_page_lines(
         self,
@@ -332,7 +353,7 @@ class MachineModel:
         """
         bat = self.bats.lookup(ea, instruction=False)
         if bat is not None:
-            pa_base = bat.translate(ea) & ~0xFFF
+            pa_base = bat.translate(ea) & ~PAGE_OFFSET_MASK
         else:
             vsid = self.segments.vsid_for(ea)
             entry = self.dtlb.peek(vsid, ea_page_index(ea))
@@ -341,12 +362,11 @@ class MachineModel:
                 self.clock.add(issue_cycles, "prefetch")
                 return issue_cycles
             pa_base = entry.ppn << PAGE_SHIFT
-        cycles = 0
-        for index in range(first_line, first_line + lines):
-            cycles += issue_cycles
-            self.dcache.access(
-                pa_base + (index * self.dcache.line_size) % 4096, write=False
-            )
+        cycles = issue_cycles * lines
+        # The fills are real cache traffic (LRU state, statistics) but
+        # their latency is hidden behind the caller's independent work —
+        # only the issue cost is charged.
+        self.dcache.access_page_lines(pa_base, first_line, lines, write=False)
         self.clock.add(cycles, "prefetch")
         return cycles
 

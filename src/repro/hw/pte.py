@@ -21,10 +21,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.params import API_BITS, PAGE_INDEX_BITS, VSID_MASK
+from repro.params import API_BITS, PAGE_INDEX_BITS, PPN_BITS, PPN_MASK, VSID_MASK
 
 API_SHIFT = PAGE_INDEX_BITS - API_BITS  # low 10 bits feed the hash only
 API_MASK = (1 << API_BITS) - 1
+
+#: The RPN occupies the high bits of word 1; the low 12 hold R/C/WIMG/PP.
+RPN_SHIFT = 32 - PPN_BITS
 
 #: Page-protection field encodings (PP bits with Ks/Kp folded away; the
 #: simulator models supervisor/user via the kernel layer instead).
@@ -43,7 +46,7 @@ def pte_api(page_index: int) -> int:
     return (page_index >> API_SHIFT) & API_MASK
 
 
-@dataclass
+@dataclass(slots=True)
 class HashPte:
     """One entry of the hashed page table.
 
@@ -90,7 +93,7 @@ class HashPte:
             | self.api
         )
         word1 = (
-            ((self.rpn & 0xFFFFF) << 12)
+            ((self.rpn & PPN_MASK) << RPN_SHIFT)
             | (int(self.referenced) << 8)
             | (int(self.changed) << 7)
             | ((self.wimg & 0xF) << 3)
@@ -109,7 +112,7 @@ class HashPte:
         return cls(
             vsid=(word0 >> 7) & VSID_MASK,
             page_index=(api << API_SHIFT) | (low_page_bits & ((1 << API_SHIFT) - 1)),
-            rpn=(word1 >> 12) & 0xFFFFF,
+            rpn=(word1 >> RPN_SHIFT) & PPN_MASK,
             valid=bool(word0 >> 31),
             secondary=bool((word0 >> 6) & 1),
             referenced=bool((word1 >> 8) & 1),

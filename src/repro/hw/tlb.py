@@ -9,6 +9,14 @@ the same EA coexist only until they collide in a set.
 The model keeps an LRU bit per set, as the hardware does for 2-way
 arrays, and generalizes to true-LRU for wider associativity so tests can
 exercise other geometries.
+
+Representation: each set is a list of packed integer keys
+(``vsid << PAGE_INDEX_BITS | page_index``) ordered most-recent-first;
+the :class:`TlbEntry` payloads live in one dict keyed by the same packed
+key.  Lookups are a C-speed ``list.index`` over at most ``assoc`` small
+ints plus one dict read — no per-entry object scan.  The entry objects
+callers insert are stored as-is, so the check/obs layers keep receiving
+the same mutable :class:`TlbEntry` instances they always did.
 """
 
 from __future__ import annotations
@@ -17,9 +25,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.params import PAGE_INDEX_BITS, PAGE_INDEX_MASK
+
+_KEY_SHIFT = PAGE_INDEX_BITS
+_KEY_PAGE_MASK = PAGE_INDEX_MASK
 
 
-@dataclass
+@dataclass(slots=True)
 class TlbEntry:
     """One cached virtual-to-physical translation."""
 
@@ -45,8 +57,10 @@ class Tlb:
         self.entries = entries
         self.assoc = assoc
         self.num_sets = entries // assoc
-        # Each set is a list of TlbEntry ordered most-recent-first.
+        # Each set is a list of packed (vsid, page_index) keys ordered
+        # most-recent-first; payloads live in _data.
         self._sets = [[] for _ in range(self.num_sets)]
+        self._data = {}
         self.hits = 0
         self.misses = 0
         self.invalidate_all_count = 0
@@ -62,21 +76,24 @@ class Tlb:
 
     def lookup(self, vsid: int, page_index: int) -> Optional[TlbEntry]:
         """Probe the TLB; maintains LRU order and hit/miss counters."""
-        entries = self._sets[self.set_index(page_index)]
-        for position, entry in enumerate(entries):
-            if entry.vsid == vsid and entry.page_index == page_index:
-                if position:
-                    entries.insert(0, entries.pop(position))
-                self.hits += 1
-                return entry
-        self.misses += 1
-        return None
+        keys = self._sets[page_index % self.num_sets]
+        key = (vsid << _KEY_SHIFT) | page_index
+        try:
+            position = keys.index(key)
+        except ValueError:
+            self.misses += 1
+            return None
+        if position:
+            del keys[position]
+            keys.insert(0, key)
+        self.hits += 1
+        return self._data[key]
 
     def peek(self, vsid: int, page_index: int) -> Optional[TlbEntry]:
         """Probe without touching LRU state or counters (for assertions)."""
-        for entry in self._sets[self.set_index(page_index)]:
-            if entry.vsid == vsid and entry.page_index == page_index:
-                return entry
+        key = (vsid << _KEY_SHIFT) | page_index
+        if key in self._sets[page_index % self.num_sets]:
+            return self._data[key]
         return None
 
     def insert(self, entry: TlbEntry) -> Optional[TlbEntry]:
@@ -85,19 +102,22 @@ class Tlb:
         Returns the victim entry, or None if a slot was free or the same
         translation was already present (it is refreshed in place).
         """
-        entries = self._sets[self.set_index(entry.page_index)]
-        for position, existing in enumerate(entries):
-            if (
-                existing.vsid == entry.vsid
-                and existing.page_index == entry.page_index
-            ):
-                entries.pop(position)
-                entries.insert(0, entry)
-                return None
+        keys = self._sets[entry.page_index % self.num_sets]
+        key = (entry.vsid << _KEY_SHIFT) | entry.page_index
+        try:
+            position = keys.index(key)
+        except ValueError:
+            pass
+        else:
+            del keys[position]
+            keys.insert(0, key)
+            self._data[key] = entry
+            return None
         victim = None
-        if len(entries) >= self.assoc:
-            victim = entries.pop()
-        entries.insert(0, entry)
+        if len(keys) >= self.assoc:
+            victim = self._data.pop(keys.pop())
+        keys.insert(0, key)
+        self._data[key] = entry
         return victim
 
     # -- invalidation ------------------------------------------------------
@@ -113,46 +133,56 @@ class Tlb:
         that context, so flushing one address space cannot evict another
         context's translation of the same page index.
         """
-        entries = self._sets[self.set_index(page_index)]
-        before = len(entries)
-        entries[:] = [
-            e
-            for e in entries
-            if e.page_index != page_index
-            or (vsid is not None and e.vsid != vsid)
-        ]
-        removed = before - len(entries)
+        keys = self._sets[page_index % self.num_sets]
+        removed = 0
+        if vsid is not None:
+            key = (vsid << _KEY_SHIFT) | page_index
+            try:
+                keys.remove(key)
+            except ValueError:
+                pass
+            else:
+                del self._data[key]
+                removed = 1
+        else:
+            survivors = []
+            for key in keys:
+                if key & _KEY_PAGE_MASK == page_index:
+                    del self._data[key]
+                    removed += 1
+                else:
+                    survivors.append(key)
+            if removed:
+                keys[:] = survivors
         self.invalidate_entry_count += 1
         return removed
 
     def invalidate_all(self) -> None:
         """`tlbia` / sync of a full flush."""
-        for entries in self._sets:
-            entries.clear()
+        for keys in self._sets:
+            keys.clear()
+        self._data.clear()
         self.invalidate_all_count += 1
 
     # -- introspection -----------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(len(entries) for entries in self._sets)
+        return len(self._data)
 
     def occupancy(self) -> float:
         """Fraction of TLB slots currently holding a translation."""
-        return len(self) / self.entries
+        return len(self._data) / self.entries
 
     def kernel_entries(self) -> int:
         """How many live entries belong to the kernel (§5.1 footprint)."""
-        return sum(
-            1
-            for entries in self._sets
-            for entry in entries
-            if entry.is_kernel
-        )
+        return sum(1 for entry in self._data.values() if entry.is_kernel)
 
     def live_entries(self):
         """Iterate over all live entries (MRU-first within each set)."""
-        for entries in self._sets:
-            yield from entries
+        data = self._data
+        for keys in self._sets:
+            for key in keys:
+                yield data[key]
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses

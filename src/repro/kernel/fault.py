@@ -102,19 +102,14 @@ class MissHandlers:
         # 603 with the hash table retained (§6.2's "before"): emulate the
         # 604 by searching the hash table in software first.
         if not machine.spec.hardware_tablewalk and self.config.use_htab_on_603:
-            charges = [0]
-
-            def probe(group_index: int, slot: int) -> None:
-                charges[0] += SW_PROBE_CYCLES
-                charges[0] += machine.dcache.access(
-                    machine.walker.pte_physical_address(group_index, slot),
-                    write=False,
-                    inhibited=not self.config.cache_page_tables,
-                )
-
             machine.monitor.count("htab_search")
-            result = machine.htab.search(vsid, page_index, probe=probe)
-            cycles += charges[0]
+            result, search_cycles = machine.walker.charged_search(
+                vsid,
+                page_index,
+                cycles_per_ref=SW_PROBE_CYCLES,
+                inhibited=not self.config.cache_page_tables,
+            )
+            cycles += search_cycles
             if result.found:
                 machine.monitor.count("htab_hit")
                 pte = result.pte

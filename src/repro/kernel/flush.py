@@ -18,7 +18,11 @@ from repro.kernel.vsid import kernel_vsids
 from repro.params import (
     FLUSH_PTE_TREE_CYCLES,
     KERNELBASE,
+    NUM_SEGMENT_REGISTERS,
+    PAGE_INDEX_MASK,
+    PAGE_SHIFT,
     PAGE_SIZE,
+    SEGMENT_SHIFT,
     TLBIE_CYCLES,
     VSID_BUMP_CYCLES,
 )
@@ -46,7 +50,7 @@ class FlushEngine:
         12..15 use the fixed kernel VSIDs (``mm`` may be the kernel mm,
         whose ``user_vsids`` list is empty).
         """
-        segment = (ea >> 28) & 0xF
+        segment = (ea >> SEGMENT_SHIFT) & (NUM_SEGMENT_REGISTERS - 1)
         if ea < KERNELBASE:
             return mm.user_vsids[segment]
         return kernel_vsids()[segment - 12]
@@ -54,7 +58,7 @@ class FlushEngine:
     def _search_flush_page(self, mm, ea: int) -> int:
         """Invalidate one page the hard way: hash search + tlbie."""
         machine = self.machine
-        page_index = (ea >> 12) & 0xFFFF
+        page_index = (ea >> PAGE_SHIFT) & PAGE_INDEX_MASK
         vsid = self._flush_vsid_for(mm, ea)
         cycles = FLUSH_PTE_TREE_CYCLES
         if self._uses_htab():
@@ -118,7 +122,7 @@ class FlushEngine:
         context of any process needing to invalidate more than a small
         set of pages").
         """
-        n_pages = (end - start) >> 12
+        n_pages = (end - start) >> PAGE_SHIFT
         if (
             self.config.lazy_vsid_flush
             and self.config.range_flush_cutoff is not None

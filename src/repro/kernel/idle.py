@@ -24,7 +24,6 @@ Two jobs, per configuration:
 from __future__ import annotations
 
 from repro.kernel.config import IdlePageClearPolicy
-from repro.params import HTAB_PTE_SLOTS
 
 #: Hash-table slots examined per unit of idle work.  One chunk is still
 #: only a few microseconds, so wakeup latency is unaffected.
@@ -86,34 +85,27 @@ class IdleTask:
         when the scan comes up empty.
         """
         machine = self.machine
-        is_live = self.kernel.vsid_allocator.is_live
-        cycles = 0
-        reclaimed = 0
-        inhibited = self.config.idle_uncached
-        slots_per_line = machine.dcache.line_size // 8  # 8-byte PTEs
-        for flat, pte in machine.htab.scan_slots(
-            self._scan_position, RECLAIM_CHUNK_SLOTS
-        ):
-            cycles += RECLAIM_CYCLES_PER_SLOT
-            # The scan streams the table; one memory access covers a
-            # cache line's worth of PTE tag words.
-            if flat % slots_per_line == 0:
-                group, slot = divmod(flat, 8)
-                cycles += machine.dcache.access(
-                    machine.walker.pte_physical_address(group, slot),
-                    write=False,
-                    inhibited=inhibited,
-                )
-            if pte is not None and pte.valid and not is_live(pte.vsid):
-                machine.htab.invalidate_slot(flat)
-                machine.monitor.count("zombie_reclaimed")
-                reclaimed += 1
-                cycles += 2  # the store clearing the valid bit
-                if machine.sanitizer is not None:
-                    machine.sanitizer.after_reclaim_slot(flat, pte)
-        self._scan_position = (
-            self._scan_position + RECLAIM_CHUNK_SLOTS
-        ) % HTAB_PTE_SLOTS
+        htab = machine.htab
+        start = self._scan_position
+        cycles = RECLAIM_CYCLES_PER_SLOT * RECLAIM_CHUNK_SLOTS
+        # The scan streams the table; one memory access covers a cache
+        # line's worth of PTE tag words.
+        cycles += machine.walker.charge_scan_window(
+            start, RECLAIM_CHUNK_SLOTS, inhibited=self.config.idle_uncached
+        )
+        zombies = htab.zombie_flats(
+            start, RECLAIM_CHUNK_SLOTS, self.kernel.vsid_allocator.is_live
+        )
+        ppg = htab.ptes_per_group
+        sanitizer = machine.sanitizer
+        for flat in zombies:
+            htab.invalidate_slot(flat)
+            machine.monitor.count("zombie_reclaimed")
+            cycles += 2  # the store clearing the valid bit
+            if sanitizer is not None:
+                sanitizer.after_reclaim_slot(flat, htab.pte_at(*divmod(flat, ppg)))
+        reclaimed = len(zombies)
+        self._scan_position = (start + RECLAIM_CHUNK_SLOTS) % htab.slots
         machine.clock.add(cycles, "idle_reclaim")
         self.reclaim_passes += 1
         self.zombies_reclaimed += reclaimed

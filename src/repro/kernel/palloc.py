@@ -108,12 +108,11 @@ class PageAllocator:
         """
         base = pfn << PAGE_SHIFT
         cache = self.machine.dcache
-        cycles = 0
-        for line in range(LINES_PER_PAGE):
-            cycles += LINE_CLEAR_CYCLES
-            cycles += cache.access(
-                base + line * cache.line_size, write=True, inhibited=inhibited
-            )
+        cycles = LINES_PER_PAGE * LINE_CLEAR_CYCLES
+        access_cycles, _ = cache.access_page_lines(
+            base, 0, LINES_PER_PAGE, write=True, inhibited=inhibited
+        )
+        cycles += access_cycles
         self.machine.clock.add(cycles, category)
         if self.machine.sanitizer is not None:
             self.machine.sanitizer.note_page_cleared(pfn)

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from repro.hw.pte import HashPte, PP_RO, PP_RW, WIMG_CACHE_INHIBIT
 from repro.kernel.pagetable import LinuxPte
-from repro.params import HTAB_PTE_SLOTS
 
 #: Slots scanned by one on-demand scavenge burst — just enough to find
 #: space, the way the rejected design would have worked; the table
@@ -72,25 +71,18 @@ class HtabReloader:
     def _scavenge(self) -> int:
         """The rejected design: synchronously sweep for zombies."""
         machine = self.machine
-        is_live = self.kernel.vsid_allocator.is_live
-        cycles = 0
-        slots_per_line = machine.dcache.line_size // 8
-        for flat, pte in machine.htab.scan_slots(
-            self._scavenge_cursor, SCAVENGE_SLOTS
-        ):
-            cycles += SCAVENGE_CYCLES_PER_SLOT
-            if flat % slots_per_line == 0:
-                group, slot = divmod(flat, 8)
-                cycles += machine.dcache.access(
-                    machine.walker.pte_physical_address(group, slot)
-                )
-            if pte is not None and pte.valid and not is_live(pte.vsid):
-                machine.htab.invalidate_slot(flat)
-                machine.monitor.count("zombie_reclaimed")
-                cycles += 2
-        self._scavenge_cursor = (
-            self._scavenge_cursor + SCAVENGE_SLOTS
-        ) % HTAB_PTE_SLOTS
+        htab = machine.htab
+        start = self._scavenge_cursor
+        cycles = SCAVENGE_CYCLES_PER_SLOT * SCAVENGE_SLOTS
+        cycles += machine.walker.charge_scan_window(start, SCAVENGE_SLOTS)
+        zombies = htab.zombie_flats(
+            start, SCAVENGE_SLOTS, self.kernel.vsid_allocator.is_live
+        )
+        for flat in zombies:
+            htab.invalidate_slot(flat)
+            machine.monitor.count("zombie_reclaimed")
+            cycles += 2
+        self._scavenge_cursor = (start + SCAVENGE_SLOTS) % htab.slots
         self.scavenge_bursts += 1
         machine.monitor.count("scavenge_burst")
         machine.clock.add(cycles, "scavenge")

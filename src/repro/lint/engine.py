@@ -32,6 +32,7 @@ ALL_RULES: List[Rule] = [
     rules.ZeroPerturbationRule(),
     rules.HookGuardRule(),
     rules.ErrorDisciplineRule(),
+    rules.GeometryLiteralRule(),
     closure.LedgerTaxonomyRule(),
     closure.EventRegistryRule(),
     closure.InvariantRegistrationRule(),

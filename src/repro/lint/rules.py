@@ -449,3 +449,127 @@ class ErrorDisciplineRule(Rule):
                     "programming errors; catch ReproError subclasses "
                     "or re-raise",
                 )
+
+
+# -- geometry discipline -----------------------------------------------------
+
+#: Layers whose address arithmetic must spell geometry by name.  The
+#: top-level ``params.py`` (layer ``""``) is the one place the raw
+#: numbers may live.
+_GEOMETRY_LAYERS: FrozenSet[str] = SIMULATED_LAYERS | frozenset({
+    "check", "obs",
+})
+
+#: value -> (ops that make it geometry, identifier words that prove the
+#: domain, the params name to use instead).  An entry fires only when a
+#: bare literal of that value meets one of the listed operators *and*
+#: the other operand's identifiers contain a domain word — e.g.
+#: ``flat % 8`` fires, ``retries % 8`` does not.
+_GEOMETRY_LITERALS: Dict[int, Tuple[
+    Tuple[type, ...], FrozenSet[str], str,
+]] = {
+    8: (
+        (ast.Mult, ast.FloorDiv, ast.Mod),
+        frozenset({"flat", "slot", "slots", "pte", "ptes", "group"}),
+        "PTE_BYTES or PTES_PER_GROUP",
+    ),
+    0xFFFF: (
+        (ast.BitAnd,),
+        frozenset({"ea", "va", "addr", "address", "page"}),
+        "PAGE_INDEX_MASK",
+    ),
+    28: (
+        (ast.RShift, ast.LShift),
+        frozenset({"ea", "va", "addr", "address", "segment"}),
+        "SEGMENT_SHIFT",
+    ),
+    0xFFF: (
+        (ast.BitAnd,),
+        frozenset({"ea", "va", "pa", "addr", "address"}),
+        "PAGE_OFFSET_MASK",
+    ),
+    4096: (
+        (ast.Mult, ast.FloorDiv, ast.Mod),
+        frozenset({"ea", "va", "pa", "addr", "address", "page", "pages"}),
+        "PAGE_SIZE",
+    ),
+    16384: (
+        (ast.Mod,),
+        frozenset({"flat", "slot", "slots", "position", "cursor"}),
+        "HTAB_PTE_SLOTS (or better, the table's own .slots)",
+    ),
+}
+
+
+def _identifier_words(node: ast.AST) -> Set[str]:
+    """Snake-case fragments of every identifier under ``node``."""
+    words: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            words.update(sub.id.lower().split("_"))
+        elif isinstance(sub, ast.Attribute):
+            words.update(sub.attr.lower().split("_"))
+    return words
+
+
+def _bare_int(node: ast.AST) -> Optional[int]:
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    return None
+
+
+class GeometryLiteralRule(Rule):
+    id = "geometry-literal"
+    description = (
+        "address arithmetic names its geometry via repro.params "
+        "(PTE_BYTES, PAGE_INDEX_MASK, ...), never bare 8/0xFFFF-style "
+        "literals"
+    )
+
+    def check_file(self, ctx: FileContext, report: Report) -> None:
+        if ctx.layer not in _GEOMETRY_LAYERS:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp):
+                self._check_binop(node, report)
+            elif isinstance(node, ast.Call):
+                self._check_divmod(node, report)
+
+    def _check_binop(self, node: ast.BinOp, report: Report) -> None:
+        for literal, operand in (
+            (node.right, node.left), (node.left, node.right),
+        ):
+            value = _bare_int(literal)
+            if value is None:
+                continue
+            entry = _GEOMETRY_LITERALS.get(value)
+            if entry is None:
+                continue
+            ops, domain_words, replacement = entry
+            if not isinstance(node.op, ops):
+                continue
+            if _identifier_words(operand) & domain_words:
+                self._report(report, node, value, replacement)
+                return
+
+    def _check_divmod(self, node: ast.Call, report: Report) -> None:
+        """``divmod(flat, 8)`` is ``// 8`` and ``% 8`` in one call."""
+        if dotted_name(node.func) != "divmod" or len(node.args) != 2:
+            return
+        value = _bare_int(node.args[1])
+        entry = _GEOMETRY_LITERALS.get(value) if value is not None else None
+        if entry is None:
+            return
+        _ops, domain_words, replacement = entry
+        if _identifier_words(node.args[0]) & domain_words:
+            self._report(report, node, value, replacement)
+
+    @staticmethod
+    def _report(
+        report: Report, node: ast.AST, value: int, replacement: str,
+    ) -> None:
+        report(
+            node,
+            f"bare geometry literal {value} in address/slot arithmetic "
+            f"aliases a named constant; use {replacement}",
+        )

@@ -60,14 +60,13 @@ class TimeSeriesSampler:
     def _sample(self, total: int) -> None:
         machine = self.machine
         htab = machine.htab
-        histogram = htab.live_zombie_histogram(
+        # Incrementally-maintained table population: same numbers the
+        # full live/zombie histogram sums to, at O(live VSIDs) per tick.
+        live, zombie = htab.live_and_zombie_counts(
             self.kernel.vsid_allocator.is_live
         )
-        live = sum(bucket[0] for bucket in histogram)
-        zombie = sum(bucket[1] for bucket in histogram)
         valid = live + zombie
-        loads = [bucket[0] + bucket[1] for bucket in histogram]
-        hottest = max(loads) if loads else 0
+        hottest = htab.hottest_bucket_load()
         counters = machine.monitor.snapshot()
         sample = {
             "cycle": total,

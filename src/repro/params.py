@@ -29,6 +29,8 @@ from dataclasses import dataclass
 #: Bytes per page and the shift that produces it.
 PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT  # 4096
+#: Mask selecting the byte offset within a page (``ea & PAGE_OFFSET_MASK``).
+PAGE_OFFSET_MASK = PAGE_SIZE - 1
 
 #: The 4 high-order EA bits select one of 16 segment registers.
 NUM_SEGMENT_REGISTERS = 16
@@ -45,9 +47,17 @@ PAGE_INDEX_MASK = (1 << PAGE_INDEX_BITS) - 1
 
 #: Physical page numbers are 20 bits (32-bit physical address space).
 PPN_BITS = 20
+PPN_MASK = (1 << PPN_BITS) - 1
 
 #: Each PTEG (bucket) in the hashed page table holds eight PTEs.
 PTES_PER_GROUP = 8
+
+#: Each architected PTE is two 32-bit words: eight bytes.  Distinct from
+#: :data:`PTES_PER_GROUP`, which happens to share the value 8 — code that
+#: converts between flat slot indices and byte addresses must use this
+#: constant, never a bare ``8`` (the two meanings diverge as soon as a
+#: test runs a non-default PTEG geometry).
+PTE_BYTES = 8
 
 #: Abbreviated page index stored in a hash PTE: top 6 bits of the page index.
 API_BITS = 6

@@ -14,7 +14,7 @@ from repro import check, obs
 from repro.hw.machine import MachineModel
 from repro.kernel.config import KernelConfig
 from repro.kernel.kernel import Kernel
-from repro.params import HTAB_GROUPS, MachineSpec, RAM_BYTES
+from repro.params import HTAB_GROUPS, MachineSpec, PTES_PER_GROUP, RAM_BYTES
 from repro.sim.process import Executive
 
 
@@ -27,6 +27,7 @@ class Simulator:
         config: Optional[KernelConfig] = None,
         ram_bytes: int = RAM_BYTES,
         htab_groups: int = HTAB_GROUPS,
+        htab_ptes_per_group: int = PTES_PER_GROUP,
         sanitize: bool = False,
         trace: bool = False,
         profile: bool = False,
@@ -37,6 +38,7 @@ class Simulator:
         self.machine = MachineModel(
             spec,
             htab_groups=htab_groups,
+            htab_ptes_per_group=htab_ptes_per_group,
             ram_bytes=ram_bytes,
             cache_ptes=self.config.cache_page_tables,
         )

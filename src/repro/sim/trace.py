@@ -25,7 +25,7 @@ from repro.hw.access import AccessKind
 from repro.params import LINES_PER_PAGE, PAGE_SIZE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageVisit:
     """One batched visit to a page."""
 

@@ -1,0 +1,111 @@
+"""Regression tests for the idle-reclaim geometry bug.
+
+The original ``IdleTask._reclaim_chunk`` (and the on-demand scavenge
+twin in ``reload.py``) hard-coded ``8`` for two *different* quantities:
+the size of a PTE in bytes and the number of PTE slots per group.  At
+the architected default geometry the two coincide and the bug is
+invisible; as soon as the hash table runs a different ``ptes_per_group``
+the scan charged cache accesses at the wrong physical addresses
+(``divmod(flat, 8)`` instead of the table's real group size) and the
+scan cursor wrapped at ``HTAB_PTE_SLOTS`` instead of the table's actual
+slot count, leaving part of the table permanently unscanned.
+
+These tests run a non-default geometry and fail on the old code.
+"""
+
+from repro.hw.pte import HashPte
+from repro.kernel.config import KernelConfig
+from repro.kernel.idle import RECLAIM_CHUNK_SLOTS
+from repro.params import HTAB_PTE_SLOTS, M604_185, PTE_BYTES
+from repro.sim.simulator import Simulator
+
+
+def _booted(ptes_per_group: int) -> Simulator:
+    config = KernelConfig.optimized()
+    return Simulator(M604_185, config, htab_ptes_per_group=ptes_per_group)
+
+
+def test_scan_probes_real_pte_addresses_at_nondefault_geometry():
+    """The reclaim scan must stream the table's actual byte layout.
+
+    With 16 PTEs per group, slot ``flat`` lives at byte offset
+    ``flat * PTE_BYTES`` exactly as with 8 — the flat slot index already
+    linearizes the groups.  The old ``divmod(flat, 8)`` address
+    computation scattered probes across *twice* the window (group
+    strides of 16 slots re-derived with 8), touching lines beyond the
+    scanned window and skipping lines inside it.
+    """
+    sim = _booted(ptes_per_group=16)
+    machine = sim.machine
+    dcache = machine.dcache
+    base = machine.walker.htab_base_pa
+    line = dcache.line_size
+    slots_per_line = line // PTE_BYTES
+
+    dcache.flush_all()
+    sim.kernel.idle_task._scan_position = 0
+    sim.kernel.idle_task._reclaim_chunk()
+
+    window_bytes = RECLAIM_CHUNK_SLOTS * PTE_BYTES
+    for flat in range(0, RECLAIM_CHUNK_SLOTS, slots_per_line):
+        assert dcache.contains(base + flat * PTE_BYTES), (
+            f"slot {flat}: line not probed"
+        )
+    touched_beyond = [
+        offset
+        for offset in range(window_bytes, 2 * window_bytes, line)
+        if dcache.contains(base + offset)
+    ]
+    assert not touched_beyond, (
+        f"scan strayed beyond its window: offsets {touched_beyond}"
+    )
+
+
+def test_scan_cursor_wraps_at_actual_table_size():
+    """The cursor wraps at ``htab.slots``, not the default constant.
+
+    A 16-PTE-per-group table at the default group count has twice the
+    slots of the architected default; the old ``% HTAB_PTE_SLOTS`` wrap
+    made the scan cursor snap back to the low half of the table, so the
+    upper half was never scanned and its zombies never reclaimed.
+    """
+    sim = _booted(ptes_per_group=16)
+    idle = sim.kernel.idle_task
+    slots = sim.machine.htab.slots
+    assert slots == 2 * HTAB_PTE_SLOTS
+
+    start = HTAB_PTE_SLOTS + 1024  # in the upper half the old wrap lost
+    idle._scan_position = start
+    idle._reclaim_chunk()
+    assert idle._scan_position == start + RECLAIM_CHUNK_SLOTS
+
+
+def test_zombie_in_upper_half_is_reclaimed_at_nondefault_geometry():
+    """A dead VSID's PTE in the upper half of the bigger table dies."""
+    sim = _booted(ptes_per_group=16)
+    machine = sim.machine
+    htab = machine.htab
+    idle = sim.kernel.idle_task
+
+    dead_vsid = 0x00ABCDE
+    assert not sim.kernel.vsid_allocator.is_live(dead_vsid)
+    machine.htab.insert(HashPte(vsid=dead_vsid, page_index=0x31, rpn=7))
+    flats = [
+        flat
+        for flat, _group, _slot in _valid_flats(htab)
+        if htab.pte_at(*divmod(flat, htab.ptes_per_group)).vsid == dead_vsid
+    ]
+    assert flats, "test PTE did not land in the table"
+    target = flats[0]
+
+    before = machine.monitor.snapshot().get("zombie_reclaimed", 0)
+    idle._scan_position = target - (target % RECLAIM_CHUNK_SLOTS)
+    idle._reclaim_chunk()
+    after = machine.monitor.snapshot().get("zombie_reclaimed", 0)
+    assert after == before + 1
+    assert not htab.pte_at(*divmod(target, htab.ptes_per_group)).valid
+
+
+def _valid_flats(htab):
+    for group, slot, _pte in htab.iter_valid():
+        yield group * htab.ptes_per_group + slot, group, slot

@@ -935,6 +935,66 @@ class TestMutations:
         assert any("check_segments" in f.message for f in result.findings)
 
 
+class TestGeometryLiteral:
+    def test_divmod_by_eight_on_slot_index_flagged(self, tmp_path):
+        result = run_lint(tmp_path, {"kernel/a.py": """\
+            def addr(flat):
+                group, slot = divmod(flat, 8)
+                return group, slot
+        """}, rules=single_rule("geometry-literal"))
+        (finding,) = result.findings
+        assert (finding.rule, finding.line) == ("geometry-literal", 2)
+        assert "PTE_BYTES or PTES_PER_GROUP" in finding.message
+
+    def test_page_index_mask_literal_flagged(self, tmp_path):
+        result = run_lint(tmp_path, {"hw/a.py": """\
+            def page_index(ea):
+                return (ea >> 12) & 0xFFFF
+        """}, rules=single_rule("geometry-literal"))
+        assert [f.line for f in result.findings] == [2]
+        assert "PAGE_INDEX_MASK" in result.findings[0].message
+
+    def test_segment_shift_literal_flagged(self, tmp_path):
+        result = run_lint(tmp_path, {"check/a.py": """\
+            def segment(ea):
+                return ea >> 28
+        """}, rules=single_rule("geometry-literal"))
+        assert [f.line for f in result.findings] == [2]
+
+    def test_scan_cursor_wrap_literal_flagged(self, tmp_path):
+        result = run_lint(tmp_path, {"kernel/a.py": """\
+            def advance(position):
+                return (position + 512) % 16384
+        """}, rules=single_rule("geometry-literal"))
+        assert [f.line for f in result.findings] == [2]
+        assert "HTAB_PTE_SLOTS" in result.findings[0].message
+
+    def test_named_constant_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"kernel/a.py": """\
+            from repro.params import PTES_PER_GROUP
+
+            def addr(flat):
+                return divmod(flat, PTES_PER_GROUP)
+        """}, rules=single_rule("geometry-literal"))
+        assert result.findings == []
+
+    def test_nongeometry_operand_clean(self, tmp_path):
+        """``retries % 8`` has no address-domain identifier: not flagged."""
+        result = run_lint(tmp_path, {"kernel/a.py": """\
+            def backoff(retries):
+                return retries % 8
+        """}, rules=single_rule("geometry-literal"))
+        assert result.findings == []
+
+    def test_params_layer_exempt(self, tmp_path):
+        """Top-level modules (layer of params.py) may hold raw geometry."""
+        result = run_lint(tmp_path, {"params.py": """\
+            def derived(page_index):
+                return page_index & 0xFFFF
+        """}, rules=single_rule("geometry-literal"))
+        assert result.findings == []
+
+
 # -- self-clean and CLI ------------------------------------------------------
 
 

@@ -82,10 +82,10 @@ class Test604MissPath:
     def test_walk_sets_reference_and_change_bits(self):
         machine = MachineModel(M604_185)
         machine.segments.write(1, 0x42)
-        pte = HashPte(vsid=0x42, page_index=0x10, rpn=9)
-        machine.htab.insert(pte)
+        machine.htab.insert(HashPte(vsid=0x42, page_index=0x10, rpn=9))
         machine.translate(0x10010000, write=True)
-        assert pte.referenced and pte.changed
+        stored = machine.htab.peek(0x42, 0x10)
+        assert stored.referenced and stored.changed
 
     def test_htab_miss_invokes_handler_with_interrupt_cost(self):
         machine = MachineModel(M604_185)

@@ -12,6 +12,8 @@ These are the invariants the paper's optimizations must preserve:
   properties.
 """
 
+import dataclasses
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
@@ -40,8 +42,8 @@ class _Model:
     """Drives one simulated process through map/touch/unmap steps while
     shadowing what the memory should look like."""
 
-    def __init__(self, config):
-        self.sim = Simulator(M604_185, config)
+    def __init__(self, config, sim=None):
+        self.sim = sim if sim is not None else Simulator(M604_185, config)
         self.kernel = self.sim.kernel
         self.task = self.kernel.spawn("model", data_pages=4)
         self.kernel.switch_to(self.task)
@@ -195,3 +197,54 @@ class TestLedgerMonotonicity:
                 model.do_fork_exit()
             assert model.sim.cycles >= last
             last = model.sim.cycles
+
+
+class TestGeometryIndependence:
+    """The kernel's MMU discipline holds at *any* legal geometry.
+
+    The array-backed rewrite (and the idle-scan geometry fix) must not
+    bake the architected defaults into address or slot arithmetic.  This
+    drives the same map/touch/unmap/flush/fork state machine through a
+    fully sanitized simulator built at non-default TLB associativity and
+    hash-table shape, with the idle reclaim scan mixed in, and requires
+    a clean differential check plus a clean final stable sweep.
+    """
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        plan=steps,
+        tlb_assoc=st.sampled_from([1, 4, 8]),
+        htab_groups=st.sampled_from([256, 1024, 4096]),
+        ptes_per_group=st.sampled_from([4, 16]),
+    )
+    def test_sanitizer_clean_at_nondefault_geometry(
+        self, plan, tlb_assoc, htab_groups, ptes_per_group
+    ):
+        spec = dataclasses.replace(M604_185, tlb_assoc=tlb_assoc)
+        sim = Simulator(
+            spec,
+            KernelConfig.optimized(),
+            htab_groups=htab_groups,
+            htab_ptes_per_group=ptes_per_group,
+            sanitize=True,
+        )
+        model = _Model(None, sim=sim)
+        for step in plan:
+            if step[0] == "map":
+                model.do_map()
+            elif step[0] == "unmap":
+                model.do_unmap()
+                model.check_unmapped_is_unreachable()
+            elif step[0] == "touch":
+                model.do_touch(step[1], step[2])
+            elif step[0] == "flush":
+                model.do_flush_mm()
+            elif step[0] == "forkexit":
+                model.do_fork_exit()
+            sim.kernel.idle_task._reclaim_chunk()
+        assert sim.sanitizer.violations == 0, sim.sanitizer.reporter
+        assert sim.sanitizer.sweep(stable=True) == 0, sim.sanitizer.reporter
