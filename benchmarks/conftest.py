@@ -64,7 +64,9 @@ def record_report(report_dir):
         body += f"\n  shape_holds: {result.shape_holds}\n"
         path.write_text(body)
         observed = obs.drain_global_observed()
-        record = metrics.experiment_record(result, observed)
+        record = metrics.experiment_record(
+            result, observed, spec=specs.SPECS[result.experiment]
+        )
         metrics.write_experiment_record(record, report_dir)
         metrics.write_bench_results(
             report_dir, BENCH_RESULTS, timings=dict(_TIMINGS)

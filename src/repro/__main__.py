@@ -14,15 +14,25 @@ Subcommands:
   coherence sanitizer and report invariant violations.
 * ``trace E7 --out e7.trace.json`` — run one experiment under the flight
   recorder and write a Chrome trace (open it in Perfetto).
+  ``--folded``/``--speedscope`` additionally export flamegraphs
+  (collapsed stacks / speedscope JSON) and print the critical path.
 * ``profile E6 ...`` — run experiments and print where the cycles went.
+  ``--host`` instead profiles the *host* CPU seconds under cProfile,
+  folded onto the simulator's hot kernels.
 * ``diff A.json B.json`` / ``diff E7 --variant "no reclaim,idle
   reclaim"`` — structural comparison of two bench artifacts, or of two
   config variants of one experiment run under the recorder.
 * ``bench compare BASELINE NEW`` — the regression sentinel: compare a
   fresh bench artifact against the committed baseline under the
   tolerance policy; nonzero exit on regression.
+* ``bench append RESULTS`` — append a run (with git provenance and an
+  optional sentinel verdict) to the BENCH_history.jsonl ledger.
+* ``trend`` — per-PR deltas over the history ledger: exact cycle
+  movers, per-category movers, policy-banded wall times
+  (``--json`` for the machine-readable trend document).
 * ``report --out report.html`` — render the observatory dashboard (a
-  deterministic, self-contained HTML file).
+  deterministic, self-contained HTML file; ``--history`` adds the
+  trend section).
 * ``lint [paths...]`` — run the domain-aware static analysis over the
   package (``--list-rules`` for the rule catalog).
 * ``table1`` / ``table2`` / ``table3`` — shortcuts for the paper's tables.
@@ -201,6 +211,30 @@ def _cmd_trace(args) -> int:
     dropped = doc.get("otherData", {}).get("dropped_events", 0)
     print(f"{key}: {events} trace events -> {args.out}"
           + (f" ({dropped} dropped by the ring)" if dropped else ""))
+    if args.folded or args.speedscope:
+        from repro.obs import flame
+
+        tracers = [
+            handle.tracer for handle in observed.observed
+            if handle.tracer is not None
+        ]
+        if args.folded:
+            lines = flame.folded(tracers)
+            with open(args.folded, "w") as handle:
+                handle.write("\n".join(lines) + ("\n" if lines else ""))
+            print(f"{key}: {len(lines)} folded stacks -> {args.folded}")
+        if args.speedscope:
+            scope = flame.speedscope(tracers, name=f"{key} — "
+                                     f"{observed.result.title}")
+            flame.validate_speedscope(scope)
+            with open(args.speedscope, "w") as handle:
+                json.dump(scope, handle, sort_keys=True)
+                handle.write("\n")
+            print(f"{key}: {len(scope['profiles'])} lanes -> "
+                  f"{args.speedscope}")
+        print()
+        print(flame.render_critical_path(flame.critical_path(tracers)),
+              end="")
     if args.json:
         print(metrics.dumps(observed.record()), end="")
     return 0
@@ -211,6 +245,8 @@ def _cmd_profile(args) -> int:
     from repro.obs import session as obs_session
     from repro.obs.profiler import render_attribution
 
+    if args.host:
+        return _cmd_profile_host(args)
     records = []
     for experiment_id in args.ids:
         key = experiment_id.upper()
@@ -229,6 +265,25 @@ def _cmd_profile(args) -> int:
     if args.json:
         doc = records[0] if len(records) == 1 else records
         print(metrics.dumps(doc), end="")
+    return 0
+
+
+def _cmd_profile_host(args) -> int:
+    from repro.obs import hostprof, metrics
+
+    ids = []
+    for experiment_id in args.ids:
+        key = experiment_id.upper()
+        if key not in specs.SPECS:
+            print(f"unknown experiment {experiment_id!r} "
+                  f"(try: python -m repro list)", file=sys.stderr)
+            return 2
+        ids.append(key)
+    doc = hostprof.profile_experiments(ids)
+    if args.json:
+        print(metrics.dumps(doc), end="")
+    else:
+        print(hostprof.render_host_profile(doc), end="")
     return 0
 
 
@@ -320,10 +375,68 @@ def _cmd_diff_variants(args) -> int:
     return 0
 
 
+def _git_rev(ref: str) -> Optional[str]:
+    """Resolve a git ref to a full SHA; None when git/repo is absent.
+
+    The only place the observatory touches git: provenance for the
+    history ledger lives in the CLI layer so ``repro.obs`` stays pure.
+    """
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", ref],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _cmd_bench_append(args) -> int:
+    import json
+
+    from repro.obs import history, metrics
+
+    try:
+        doc = metrics.load_bench_doc(args.results)
+    except (OSError, ValueError) as exc:
+        print(f"bench append: {exc}", file=sys.stderr)
+        return 2
+    verdict = None
+    if args.verdict:
+        try:
+            verdict = json.loads(open(args.verdict).read())
+        except (OSError, ValueError) as exc:
+            print(f"bench append: {args.verdict}: {exc}", file=sys.stderr)
+            return 2
+    sha = args.sha if args.sha else _git_rev("HEAD")
+    parent = args.parent if args.parent else _git_rev("HEAD^")
+    try:
+        entry = history.entry_from_doc(
+            doc, label=args.label, sha=sha, parent=parent, verdict=verdict
+        )
+        count = history.append_entry(args.history, entry)
+    except (OSError, ValueError) as exc:
+        print(f"bench append: {exc}", file=sys.stderr)
+        return 2
+    summary = entry["summary"]
+    print(
+        f"{args.history}: entry {count} "
+        f"(label={entry['label'] or '-'}, sha={(sha or '-')[:12]}, "
+        f"{summary['experiments']} experiments, "
+        f"{summary['total_cycles']} cycles)"
+    )
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.obs import baseline as obs_baseline
     from repro.obs import metrics
 
+    if args.bench_command == "append":
+        return _cmd_bench_append(args)
     try:
         policy = obs_baseline.load_policy(args.policy)
         baseline_doc = metrics.load_bench_doc(args.baseline)
@@ -341,6 +454,24 @@ def _cmd_bench(args) -> int:
     else:
         print(obs_baseline.render_verdict(verdict, args.baseline, args.new))
     return 0 if verdict.ok else 1
+
+
+def _cmd_trend(args) -> int:
+    from repro.obs import baseline as obs_baseline
+    from repro.obs import history, metrics, trend
+
+    try:
+        policy = obs_baseline.load_policy(args.policy)
+        entries = history.load_history(args.history)
+        doc = trend.trend_doc(entries, policy)
+    except (OSError, ValueError) as exc:
+        print(f"trend: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(metrics.dumps(doc), end="")
+        return 0
+    print(trend.render_trend(doc, limit=args.limit), end="")
+    return 0
 
 
 def _cmd_report(args) -> int:
@@ -380,7 +511,17 @@ def _cmd_report(args) -> int:
             source="python -m repro report",
         )
         metrics.validate_bench_doc(doc)
-    html = obs_report.render_report(doc, title=args.title)
+    trend_doc = None
+    if args.history:
+        from repro.obs import history, trend
+
+        try:
+            entries = history.load_history(args.history)
+            trend_doc = trend.trend_doc(entries)
+        except (OSError, ValueError) as exc:
+            print(f"report: {args.history}: {exc}", file=sys.stderr)
+            return 2
+    html = obs_report.render_report(doc, title=args.title, trend=trend_doc)
     with open(args.out, "w") as handle:
         handle.write(html)
     print(f"report -> {args.out} ({len(html)} bytes, "
@@ -485,6 +626,16 @@ def main(argv=None) -> int:
              "(default 1000)",
     )
     trc.add_argument(
+        "--folded", default=None, metavar="FILE",
+        help="also write collapsed-stack flamegraph lines "
+             "(flamegraph.pl input) and print the critical path",
+    )
+    trc.add_argument(
+        "--speedscope", default=None, metavar="FILE",
+        help="also write a speedscope evented-profile JSON "
+             "and print the critical path",
+    )
+    trc.add_argument(
         "--json", action="store_true",
         help="also print the experiment's metrics record",
     )
@@ -492,6 +643,11 @@ def main(argv=None) -> int:
         "profile", help="run experiments and print the cycle attribution"
     )
     prf.add_argument("ids", nargs="+", metavar="EXPERIMENT")
+    prf.add_argument(
+        "--host", action="store_true",
+        help="profile host CPU seconds (cProfile) instead of simulated "
+             "cycles, aggregated onto the simulator's hot kernels",
+    )
     prf.add_argument(
         "--json", action="store_true",
         help="print machine-readable records instead of tables",
@@ -521,9 +677,38 @@ def main(argv=None) -> int:
         help="print the full machine-readable diff",
     )
     bench = sub.add_parser(
-        "bench", help="benchmark-trajectory tools (compare)"
+        "bench", help="benchmark-trajectory tools (compare, append)"
     )
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    app_parser = bench_sub.add_parser(
+        "append",
+        help="append one run to the longitudinal history ledger",
+    )
+    app_parser.add_argument(
+        "results", metavar="RESULTS",
+        help="bench artifact to record (BENCH_results.json)",
+    )
+    app_parser.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="FILE",
+        help="ledger file to append to (default BENCH_history.jsonl)",
+    )
+    app_parser.add_argument(
+        "--label", default=None, metavar="LABEL",
+        help="entry label, e.g. the PR name (default: none)",
+    )
+    app_parser.add_argument(
+        "--sha", default=None, metavar="SHA",
+        help="git revision the run measured (default: git rev-parse HEAD)",
+    )
+    app_parser.add_argument(
+        "--parent", default=None, metavar="SHA",
+        help="parent revision (default: git rev-parse HEAD^)",
+    )
+    app_parser.add_argument(
+        "--verdict", default=None, metavar="FILE",
+        help="sentinel verdict record to fold in "
+             "(from bench compare --out)",
+    )
     cmp_parser = bench_sub.add_parser(
         "compare",
         help="compare a fresh bench artifact against a baseline under "
@@ -546,6 +731,26 @@ def main(argv=None) -> int:
         "--out", default=None, metavar="FILE",
         help="also write the verdict record to FILE (CI artifact)",
     )
+    trd = sub.add_parser(
+        "trend", help="per-PR deltas over the bench history ledger"
+    )
+    trd.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="FILE",
+        help="ledger file to read (default BENCH_history.jsonl)",
+    )
+    trd.add_argument(
+        "--policy", default=None, metavar="FILE",
+        help="tolerance policy for wall-time banding (default: the "
+             "built-in sentinel policy)",
+    )
+    trd.add_argument(
+        "--limit", type=int, default=5, metavar="N",
+        help="movers shown per step in the prose report (default 5)",
+    )
+    trd.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable trend document",
+    )
     rpt = sub.add_parser(
         "report", help="render the observatory dashboard HTML"
     )
@@ -566,6 +771,11 @@ def main(argv=None) -> int:
         "--from", dest="from_doc", default=None, metavar="FILE",
         help="render an existing bench artifact instead of running "
              "experiments",
+    )
+    rpt.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="history ledger; adds the perf-trajectory section "
+             "(sparklines + latest per-PR deltas) to the dashboard",
     )
     rpt.add_argument("--out", default="report.html", metavar="FILE",
                      help="output HTML path (default report.html)")
@@ -627,6 +837,8 @@ def main(argv=None) -> int:
         return _cmd_diff(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "trend":
+        return _cmd_trend(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "lint":

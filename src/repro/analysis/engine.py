@@ -229,23 +229,15 @@ def run_ids(
 def result_record(result: ExperimentResult) -> Dict[str, object]:
     """A deterministic BENCH record built from the result alone.
 
-    Unlike :func:`repro.obs.metrics.experiment_record` (which decorates
-    a record with profiler attribution from a live run), this is
-    derivable from a cached result — so cold-cache and warm-cache runs
-    emit byte-identical records.
+    A thin wrapper over the one record builder
+    (:func:`repro.obs.metrics.experiment_record`): with no live
+    recorder handles, total cycles / machines / attribution are lifted
+    from the result's ``derived`` block, which the engine always
+    attaches — so cold-cache and warm-cache runs emit byte-identical
+    records with the same field set as the benchmark suite's.
     """
-    spec = specs.SPECS[result.experiment]
-    record: Dict[str, object] = {
-        "id": result.experiment,
-        "title": result.title,
-        "section": spec.section,
-        "machines": spec.machine_names(),
-        "variants": [variant.label for variant in spec.variants],
-        "shape_holds": result.shape_holds,
-        "measured": result.measured,
-        "paper": result.paper,
-        "derived": result.derived,
-    }
-    if result.notes:
-        record["notes"] = result.notes
-    return record
+    from repro.obs.metrics import experiment_record
+
+    return experiment_record(
+        result, spec=specs.SPECS[result.experiment]
+    )

@@ -38,6 +38,7 @@ ALL_RULES: List[Rule] = [
     closure.InvariantRegistrationRule(),
     closure.ExperimentRegistryRule(),
     closure.AnalyticsCoverageRule(),
+    closure.ObservatoryClosureRule(),
 ]
 
 #: Ids a pragma may name (rules plus the engine's pseudo-rules).

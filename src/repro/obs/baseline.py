@@ -210,14 +210,26 @@ def compare_docs(
                 "to start tracking it",
             ))
             continue
-        before, after = old[key], new[key]
-        if rule["kind"] == "ratio":
-            finding = _ratio_check(key, before, after, rule)
-        else:
-            finding = _exact_check(key, before, after, severity)
+        finding = check_leaf(key, old[key], new[key], policy)
         if finding is not None:
             findings.append(finding)
     return Verdict(findings=findings, checked=checked, ignored=ignored)
+
+
+def check_leaf(key: str, before, after,
+               policy: Dict[str, object]) -> Optional[Finding]:
+    """Apply the policy's rule for one leaf; None when inside tolerance.
+
+    The single-leaf entry point the trend analytics reuse, so the same
+    committed policy bands both the sentinel gate and the trend
+    report's wall-time wording.
+    """
+    rule = rule_for(key, policy)
+    if rule["kind"] == "ignore":
+        return None
+    if rule["kind"] == "ratio":
+        return _ratio_check(key, before, after, rule)
+    return _exact_check(key, before, after, rule.get("severity", "fail"))
 
 
 def _exact_check(key, before, after, severity) -> Optional[Finding]:

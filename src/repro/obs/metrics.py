@@ -23,8 +23,13 @@ from repro.obs import analytics
 #: otherwise-identical runs differ only there).  v3: every record
 #: carries the observatory's ``derived`` analytics block, and documents
 #: are checked by :func:`validate_bench_doc` before they are written or
-#: compared.
-BENCH_SCHEMA = 3
+#: compared.  v4: one record builder for every producer — each record
+#: carries ``total_cycles``/``machine``/``simulators``/``attribution``
+#: (previously dropped by the engine's builder, which made
+#: ``summary.total_cycles`` always 0) plus the spec's ``section`` and
+#: ``variants``, and the validator rejects records whose
+#: ``total_cycles`` is missing or non-positive.
+BENCH_SCHEMA = 4
 
 
 def json_safe(value):
@@ -43,42 +48,65 @@ def json_safe(value):
     return str(value)
 
 
-def experiment_record(result, observed=()) -> Dict:
+def experiment_record(result, observed=(), spec=None) -> Dict:
     """One structured record for an :class:`ExperimentResult`.
+
+    The *only* bench-record builder: the benchmark suite (live
+    ``observed`` handles), the engine's cached path (``spec`` only) and
+    the obs session all funnel through here, so every record carries
+    the same field set (:data:`RECORD_REQUIRED`) and
+    ``summary.total_cycles`` aggregates something real on every path.
 
     ``observed`` is the list of :class:`~repro.obs.Observability`
     handles drained from the run (one per machine the experiment
-    booted); it supplies total cycles, the machine list and the cycle
-    attribution that the prose report cannot.
+    booted); when absent, total cycles, machines, simulator count and
+    the cycle attribution are lifted from the result's ``derived``
+    block (the engine always attaches one).  ``spec`` supplies the
+    registry metadata (section, variants) the result itself does not
+    carry; callers that can reach the registry pass it.
     """
-    machines: List[str] = []
-    for obs in observed:
-        name = obs.machine.spec.name
-        if name not in machines:
-            machines.append(name)
-    total_cycles = sum(obs.machine.clock.total for obs in observed)
-    attribution: Dict[str, int] = {}
-    for obs in observed:
-        if obs.profiler is None:
-            continue
-        for category, cycles in obs.profiler.attribution().items():
-            attribution[category] = attribution.get(category, 0) + cycles
+    observed = list(observed)
+    derived = json_safe(
+        result.derived if getattr(result, "derived", None)
+        else analytics.derive(observed)
+    )
+    if observed:
+        machines: List[str] = []
+        for obs in observed:
+            name = obs.machine.spec.name
+            if name not in machines:
+                machines.append(name)
+        total_cycles = sum(obs.machine.clock.total for obs in observed)
+        simulators = len(observed)
+        attribution: Dict[str, int] = {}
+        for obs in observed:
+            if obs.profiler is None:
+                continue
+            for category, cycles in obs.profiler.attribution().items():
+                attribution[category] = attribution.get(category, 0) + cycles
+    else:
+        machines = list(derived.get("machines", []))
+        if not machines and spec is not None:
+            machines = spec.machine_names()
+        total_cycles = derived.get("total_cycles", 0)
+        simulators = derived.get("simulators", 0)
+        attribution = dict(derived.get("attribution", {}).get("cycles", {}))
     record = {
         "id": result.experiment,
         "title": result.title,
         "machine": ", ".join(machines),
         "machines": machines,
-        "simulators": len(list(observed)),
+        "simulators": simulators,
         "total_cycles": total_cycles,
         "shape_holds": result.shape_holds,
         "measured": json_safe(result.measured),
         "paper": json_safe(result.paper),
         "attribution": attribution,
-        "derived": json_safe(
-            result.derived if getattr(result, "derived", None)
-            else analytics.derive(observed)
-        ),
+        "derived": derived,
     }
+    if spec is not None:
+        record["section"] = spec.section
+        record["variants"] = [variant.label for variant in spec.variants]
     if result.notes:
         record["notes"] = result.notes
     return record
@@ -139,11 +167,14 @@ def bench_doc(
     return doc
 
 
-#: Keys every bench record must carry, whatever produced it (the
-#: benchmark suite's :func:`experiment_record` or the engine's
-#: :func:`~repro.analysis.engine.result_record`).
-_RECORD_REQUIRED = ("id", "title", "machines", "shape_holds", "measured",
-                    "paper", "derived")
+#: Keys every bench record must carry — every producer funnels through
+#: :func:`experiment_record`, and :func:`validate_bench_doc` rejects a
+#: record missing any of them.  A literal tuple on purpose: ``repro
+#: lint``'s observatory-closure pass reads it from the AST and checks
+#: the history ledger's ``RECORD_FIELDS`` stay a subset of it.
+RECORD_REQUIRED = ("id", "title", "machines", "total_cycles",
+                   "shape_holds", "measured", "paper", "attribution",
+                   "derived")
 
 _RECORD_ID = re.compile(r"^E\d+$")
 
@@ -174,7 +205,7 @@ def validate_bench_doc(doc) -> Dict[str, int]:
     for index, record in enumerate(records):
         if not isinstance(record, dict):
             raise ValueError(f"record {index} is not an object")
-        for key in _RECORD_REQUIRED:
+        for key in RECORD_REQUIRED:
             if key not in record:
                 raise ValueError(
                     f"record {index} missing {key!r}: "
@@ -192,7 +223,16 @@ def validate_bench_doc(doc) -> Dict[str, int]:
         previous = number
         if not isinstance(record["shape_holds"], bool):
             raise ValueError(f"{record_id}: shape_holds must be a bool")
-        for key in ("measured", "paper", "derived"):
+        cycles = record["total_cycles"]
+        if not isinstance(cycles, int) or isinstance(cycles, bool) \
+                or cycles <= 0:
+            raise ValueError(
+                f"{record_id}: total_cycles must be a positive int, got "
+                f"{cycles!r} (a record that simulated nothing is a "
+                "producer bug, and summary.total_cycles would be "
+                "silently understated)"
+            )
+        for key in ("measured", "paper", "attribution", "derived"):
             if not isinstance(record[key], dict):
                 raise ValueError(f"{record_id}: {key!r} must be an object")
         if not isinstance(record["machines"], list):
@@ -212,7 +252,7 @@ def validate_bench_doc(doc) -> Dict[str, int]:
                 f"summary.{key} = {summary.get(key)!r} does not match "
                 f"the records ({expected})"
             )
-    total = sum(record.get("total_cycles", 0) for record in records)
+    total = sum(record["total_cycles"] for record in records)
     if summary.get("total_cycles") != total:
         raise ValueError(
             f"summary.total_cycles = {summary.get('total_cycles')!r} "

@@ -167,6 +167,54 @@ def _svg_histogram(bars: List[int], width: int = 640,
     return "".join(parts)
 
 
+def _svg_sparkline(values: List, width: int = 150, height: int = 28,
+                   color: str = "#4e79a7") -> str:
+    """A small inline trend line (one per experiment in the ledger).
+
+    ``values`` may contain ``None`` for entries where the experiment
+    was absent; those break the polyline into segments.
+    """
+    numbers = [v for v in values if v is not None]
+    if len(numbers) < 2 or len(values) < 2:
+        return '<span class="meta">&mdash;</span>'
+    low, high = min(numbers), max(numbers)
+    span = (high - low) or 1
+    step = (width - 8) / (len(values) - 1)
+
+    def point(index: int, value) -> str:
+        x = 4 + index * step
+        y = height - 4 - ((value - low) / span) * (height - 8)
+        return f"{x:.2f},{y:.2f}"
+
+    parts = [f'<svg width="{width}" height="{height}" role="img" '
+             f'class="spark">']
+    segment: List[str] = []
+    for index, value in enumerate(values):
+        if value is None:
+            if len(segment) > 1:
+                parts.append(
+                    f'<polyline fill="none" stroke="{color}" '
+                    f'stroke-width="1.5" points="{" ".join(segment)}"/>'
+                )
+            segment = []
+            continue
+        segment.append(point(index, value))
+    if len(segment) > 1:
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+            f'points="{" ".join(segment)}"/>'
+        )
+    last = values[-1]
+    if last is not None:
+        parts.append(
+            f'<circle cx="{point(len(values) - 1, last).split(",")[0]}" '
+            f'cy="{point(len(values) - 1, last).split(",")[1]}" r="2" '
+            f'fill="{color}"/>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
 # -- section renderers -------------------------------------------------------
 
 
@@ -296,8 +344,119 @@ def _summary_table(records: List[Dict]) -> str:
     return "".join(rows)
 
 
-def render_report(doc: Dict, title: Optional[str] = None) -> str:
-    """The full dashboard HTML for a validated bench doc."""
+def _trend_delta_cell(delta: int) -> str:
+    if delta == 0:
+        return '<td class="meta">=</td>'
+    color = "#c0392b" if delta > 0 else "#2a9d4a"
+    return f'<td style="color:{color}">{delta:+,}</td>'
+
+
+def _trend_section(trend: Dict) -> str:
+    """The longitudinal section: ledger table, sparklines, latest deltas.
+
+    ``trend`` is a :func:`repro.obs.trend.trend_doc` document.  The
+    section is a pure function of it — wall times appear, but they come
+    from the fixed ledger, so the dashboard stays byte-deterministic
+    for a given history file.
+    """
+    entries = trend.get("entries", [])
+    if not entries:
+        return ""
+    parts = ['<h2 id="trend">perf trajectory '
+             f'({len(entries)} recorded runs)</h2>']
+    rows = ["<table><tr><th>run</th><th>sha</th><th>total cycles</th>"
+            "<th>shapes</th><th>wall (s)</th><th>sentinel</th></tr>"]
+    for entry in entries:
+        verdict = entry.get("verdict")
+        verdict_cell = "&mdash;" if verdict is None else (
+            "ok" if verdict.get("ok") else "REGRESSION"
+        )
+        rows.append(
+            f"<tr><td>{_esc(entry['name'])}</td>"
+            f"<td>{_esc((entry.get('sha') or '')[:12])}</td>"
+            f"<td>{_fmt(entry['total_cycles'])}</td>"
+            f"<td>{_fmt(entry['shapes_holding'])}/"
+            f"{_fmt(entry['experiments'])}</td>"
+            f"<td>{_fmt(entry.get('wall_total') or '')}</td>"
+            f"<td>{verdict_cell}</td></tr>"
+        )
+    rows.append("</table>")
+    parts.append("".join(rows))
+    series = trend.get("series", {})
+    spark_ids = [key for key in series if key != "__total__"]
+    spark_ids.sort(key=lambda k: int(k[1:]))
+    spark_rows = ["<table><tr><th>experiment</th><th>cycles trend</th>"
+                  "<th>latest</th></tr>"]
+    total = series.get("__total__", [])
+    spark_rows.append(
+        "<tr><td>all experiments</td>"
+        f"<td>{_svg_sparkline(total)}</td>"
+        f"<td>{_fmt(total[-1] if total else '')}</td></tr>"
+    )
+    for key in spark_ids:
+        values = series[key]
+        latest = next(
+            (v for v in reversed(values) if v is not None), ""
+        )
+        spark_rows.append(
+            f'<tr><td><a href="#{_esc(key)}">{_esc(key)}</a></td>'
+            f"<td>{_svg_sparkline(values)}</td>"
+            f"<td>{_fmt(latest)}</td></tr>"
+        )
+    spark_rows.append("</table>")
+    parts.append(f"<h4>per-experiment cycle series "
+                 f"(last {_fmt(trend.get('series_window', 0))} runs)</h4>")
+    parts.append("".join(spark_rows))
+    steps = trend.get("steps", [])
+    if steps:
+        change = steps[-1]
+        parts.append(
+            f"<h4>latest step: {_esc(change['from']['name'])} &rarr; "
+            f"{_esc(change['to']['name'])}</h4>"
+        )
+        rows = ["<table><tr><th>experiment</th><th>cycles before</th>"
+                "<th>cycles after</th><th>&Delta; cycles</th>"
+                "<th>wall</th></tr>"]
+        for key in sorted(change["experiments"],
+                          key=lambda k: int(k[1:])):
+            entry = change["experiments"][key]
+            cycles = entry["cycles"]
+            wall = entry["wall"]
+            if wall.get("status") == "missing":
+                wall_cell = "&mdash;"
+            else:
+                wall_cell = (f"{_fmt(wall['old'])} &rarr; "
+                             f"{_fmt(wall['new'])} ({_esc(wall['status'])})")
+            rows.append(
+                f"<tr><td>{_esc(key)}</td><td>{_fmt(cycles['old'])}</td>"
+                f"<td>{_fmt(cycles['new'])}</td>"
+                + _trend_delta_cell(cycles["delta"])
+                + f"<td>{wall_cell}</td></tr>"
+            )
+        rows.append("</table>")
+        parts.append("".join(rows))
+        if change["category_movers"]:
+            movers = ["<table><tr><th>path category</th>"
+                      "<th>&Delta; cycles</th></tr>"]
+            for mover in change["category_movers"]:
+                movers.append(
+                    f"<tr><td>{_esc(mover['category'])}</td>"
+                    + _trend_delta_cell(mover["delta"]) + "</tr>"
+                )
+            movers.append("</table>")
+            parts.append("<h4>where the cycles went</h4>")
+            parts.append("".join(movers))
+    return "".join(parts)
+
+
+def render_report(doc: Dict, title: Optional[str] = None,
+                  trend: Optional[Dict] = None) -> str:
+    """The full dashboard HTML for a validated bench doc.
+
+    ``trend`` (a :func:`repro.obs.trend.trend_doc` document) adds the
+    longitudinal section between the summary table and the
+    per-experiment sections.
+    """
     records = doc.get("experiments", [])
     summary = doc.get("summary", {})
     heading = title or "MMU tricks — perf observatory report"
@@ -313,6 +472,8 @@ def render_report(doc: Dict, title: Optional[str] = None) -> str:
         "(repro.obs)</p>",
         _summary_table(records),
     ]
+    if trend is not None:
+        parts.append(_trend_section(trend))
     for record in records:
         parts.append(_experiment_section(record))
     parts.append("</body></html>")

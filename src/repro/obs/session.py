@@ -56,7 +56,9 @@ class ObservedExperiment:
         )
 
     def record(self) -> Dict:
-        return experiment_record(self.result, self.observed)
+        return experiment_record(
+            self.result, self.observed, spec=specs.SPECS[self.experiment]
+        )
 
     def chrome_trace(self) -> Dict:
         tracers = [obs.tracer for obs in self.observed if obs.tracer is not None]

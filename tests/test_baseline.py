@@ -28,6 +28,7 @@ def record(number, cycles=100, shape=True, measured=None):
         "shape_holds": shape,
         "measured": dict(measured or {"ratio": 2.5}),
         "paper": {},
+        "attribution": {"tlb-reload": cycles},
         "derived": {"counters": {"tlb_miss": 7 * number}},
     }
 

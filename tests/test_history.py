@@ -1,0 +1,212 @@
+"""Tests for the longitudinal bench ledger (``obs/history.py``)."""
+
+import json
+
+import pytest
+
+from repro.obs import history, metrics
+
+
+def bench_record(exp_id="E1", cycles=1000, shape=True, top="tlb-reload"):
+    """A minimal valid schema-4 bench record with a derived block."""
+    return {
+        "id": exp_id,
+        "title": f"experiment {exp_id}",
+        "machine": "prototype",
+        "machines": ["prototype"],
+        "simulators": 1,
+        "total_cycles": cycles,
+        "shape_holds": shape,
+        "measured": {"cycles": cycles},
+        "paper": {"claim": "qualitative"},
+        "attribution": {top: cycles},
+        "derived": {
+            "attribution": {"top": top, "shares": {top: 1.0}},
+            "reload": {"p99": 42},
+            "counters": {"tlb_miss": 7},
+        },
+    }
+
+
+def bench_doc(records, timings=None):
+    return metrics.bench_doc(records, timings=timings)
+
+
+class TestHeadline:
+    def test_pulls_derived_metrics(self):
+        head = history.headline(bench_record())
+        assert head == {
+            "top_category": "tlb-reload",
+            "top_share": 1.0,
+            "reload_p99": 42,
+            "tlb_miss": 7,
+        }
+
+    def test_absent_sections_yield_none(self):
+        record = bench_record()
+        record["derived"] = {}
+        head = history.headline(record)
+        assert set(head) == set(history.HEADLINE_FIELDS)
+        assert all(value is None for value in head.values())
+
+
+class TestEntryFromDoc:
+    def test_builds_validated_entry(self):
+        doc = bench_doc(
+            [bench_record("E1", 1000), bench_record("E2", 2000, shape=False)],
+            timings={"E1": 1.5, "E2": 2.5},
+        )
+        entry = history.entry_from_doc(
+            doc, label="PR7", sha="abc123", parent="def456"
+        )
+        assert entry["schema_version"] == history.HISTORY_SCHEMA
+        assert entry["bench_schema"] == metrics.BENCH_SCHEMA
+        assert entry["label"] == "PR7"
+        assert entry["git"] == {"sha": "abc123", "parent": "def456"}
+        assert entry["experiments"]["E1"]["total_cycles"] == 1000
+        assert entry["experiments"]["E2"]["shape_holds"] is False
+        assert entry["experiments"]["E1"]["headline"]["tlb_miss"] == 7
+        assert entry["summary"] == {
+            "experiments": 2, "shapes_holding": 1, "total_cycles": 3000,
+        }
+        assert entry["wall"] == {"E1": 1.5, "E2": 2.5}
+        assert entry["verdict"] is None
+
+    def test_verdict_is_summarized(self):
+        doc = bench_doc([bench_record()])
+        entry = history.entry_from_doc(
+            doc, verdict={"ok": False, "regressions": 2, "warnings": 1,
+                          "findings": ["noise"]},
+        )
+        assert entry["verdict"] == {
+            "ok": False, "regressions": 2, "warnings": 1,
+        }
+
+    def test_rejects_invalid_doc(self):
+        doc = bench_doc([bench_record()])
+        doc["summary"]["total_cycles"] = 0
+        with pytest.raises(ValueError, match="total_cycles"):
+            history.entry_from_doc(doc)
+
+
+def make_entry(**kwargs):
+    cycles = kwargs.pop("cycles", 1000)
+    timings = kwargs.pop("timings", {"E1": 1.0})
+    doc = bench_doc([bench_record(cycles=cycles)], timings=timings)
+    return history.entry_from_doc(doc, **kwargs)
+
+
+class TestValidateHistoryEntry:
+    def test_counts_returned(self):
+        counts = history.validate_history_entry(make_entry())
+        assert counts == {
+            "experiments": 1, "shapes_holding": 1, "total_cycles": 1000,
+        }
+
+    def test_rejects_wrong_schema(self):
+        entry = make_entry()
+        entry["schema_version"] = history.HISTORY_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            history.validate_history_entry(entry)
+
+    def test_rejects_nonpositive_cycles(self):
+        entry = make_entry()
+        entry["experiments"]["E1"]["total_cycles"] = 0
+        entry["summary"]["total_cycles"] = 0
+        with pytest.raises(ValueError, match="positive int"):
+            history.validate_history_entry(entry)
+
+    def test_rejects_missing_headline_field(self):
+        entry = make_entry()
+        del entry["experiments"]["E1"]["headline"]["tlb_miss"]
+        with pytest.raises(ValueError, match="tlb_miss"):
+            history.validate_history_entry(entry)
+
+    def test_rejects_summary_mismatch(self):
+        entry = make_entry()
+        entry["summary"]["total_cycles"] += 1
+        with pytest.raises(ValueError, match="summary.total_cycles"):
+            history.validate_history_entry(entry)
+
+    def test_rejects_negative_wall(self):
+        entry = make_entry()
+        entry["wall"]["E1"] = -0.5
+        with pytest.raises(ValueError, match="wall"):
+            history.validate_history_entry(entry)
+
+    def test_rejects_malformed_verdict(self):
+        entry = make_entry()
+        entry["verdict"] = {"regressions": 1}
+        with pytest.raises(ValueError, match="verdict"):
+            history.validate_history_entry(entry)
+
+    def test_rejects_bad_experiment_id(self):
+        entry = make_entry()
+        entry["experiments"]["bogus"] = entry["experiments"]["E1"]
+        with pytest.raises(ValueError, match="bogus"):
+            history.validate_history_entry(entry)
+
+
+class TestSerialization:
+    def test_dumps_is_one_compact_sorted_line(self):
+        entry = make_entry(label="PR7")
+        line = history.dumps_entry(entry)
+        assert line.endswith("\n")
+        assert line.count("\n") == 1
+        assert ": " not in line and ", " not in line
+        assert json.loads(line) == entry
+
+    def test_deterministic_view_drops_wall_only(self):
+        fast = make_entry(timings={"E1": 1.0})
+        slow = make_entry(timings={"E1": 9.0})
+        assert fast["wall"] != slow["wall"]
+        assert history.deterministic_view(fast) == \
+            history.deterministic_view(slow)
+        assert "wall" not in history.deterministic_view(fast)
+
+
+class TestAppendLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        first = make_entry(label="PR6", cycles=1000)
+        second = make_entry(label="PR7", cycles=900)
+        assert history.append_entry(path, first) == 1
+        assert history.append_entry(path, second) == 2
+        entries = history.load_history(path)
+        assert [entry["label"] for entry in entries] == ["PR6", "PR7"]
+        assert entries[0] == first
+        assert entries[1] == second
+
+    def test_append_is_append_only(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        history.append_entry(path, make_entry(label="PR6"))
+        before = path.read_text()
+        history.append_entry(path, make_entry(label="PR7"))
+        assert path.read_text().startswith(before)
+
+    def test_append_rejects_invalid_entry(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        entry = make_entry()
+        entry["summary"]["experiments"] = 5
+        with pytest.raises(ValueError):
+            history.append_entry(path, entry)
+        assert not path.exists()
+
+    def test_load_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        path.write_text(history.dumps_entry(make_entry()) + "{broken\n")
+        with pytest.raises(ValueError, match=r":2: not JSON"):
+            history.load_history(path)
+
+    def test_load_rejects_invalid_line(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        bad = make_entry()
+        bad["experiments"]["E1"]["shape_holds"] = "yes"
+        path.write_text(json.dumps(bad) + "\n")
+        with pytest.raises(ValueError, match=r":1: .*shape_holds"):
+            history.load_history(path)
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        path.write_text("\n" + history.dumps_entry(make_entry()) + "\n")
+        assert len(history.load_history(path)) == 1

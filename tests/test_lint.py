@@ -589,6 +589,156 @@ class TestAnalyticsCoverage:
         assert result.findings == []
 
 
+OBSERVATORY_FILES = {
+    "obs/metrics.py": """\
+        RECORD_REQUIRED = ("id", "total_cycles", "attribution")
+    """,
+    "obs/history.py": """\
+        RECORD_FIELDS = ("total_cycles", "attribution")
+        HEADLINE_FIELDS = ("top_category", "tlb_miss")
+    """,
+    "obs/trend.py": """\
+        MOVER_CATEGORIES = ("memory", "mmu", "other")
+        HEADLINE_COLUMNS = ("top_category",)
+    """,
+    "obs/profiler.py": """\
+        PATH_CATEGORIES = {
+            "mem": "memory",
+            "flush": "mmu",
+        }
+    """,
+    "obs/events.py": """\
+        EVENT_NAMES = {
+            "hw-walk": "hardware walk span",
+            "syscall:*": "syscall entry",
+        }
+    """,
+    "obs/flame.py": """\
+        SPAN_CATEGORY = {
+            "hw-walk": "memory",
+            "syscall:fork": "other",
+        }
+    """,
+    "obs/hostprof.py": """\
+        KERNEL_GROUPS = (
+            ("repro/obs/metrics.py", "metrics"),
+            ("repro/obs/", "obs"),
+        )
+    """,
+}
+
+
+class TestObservatoryClosure:
+    def test_synced_registries_clean(self, tmp_path):
+        result = run_lint(tmp_path, dict(OBSERVATORY_FILES),
+                          rules=single_rule("observatory-closure"))
+        assert result.findings == []
+
+    def test_ledger_field_outside_record_schema_flagged(self, tmp_path):
+        files = dict(OBSERVATORY_FILES)
+        files["obs/history.py"] = """\
+            RECORD_FIELDS = ("total_cycles", "wall_seconds")
+            HEADLINE_FIELDS = ("top_category", "tlb_miss")
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        (finding,) = result.findings
+        assert finding.path == "obs/history.py"
+        assert "'wall_seconds'" in finding.message
+
+    def test_unregistered_mover_category_flagged(self, tmp_path):
+        files = dict(OBSERVATORY_FILES)
+        files["obs/trend.py"] = """\
+            MOVER_CATEGORIES = ("memory", "unplotted")
+            HEADLINE_COLUMNS = ("top_category",)
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        (finding,) = result.findings
+        assert finding.path == "obs/trend.py"
+        assert "'unplotted'" in finding.message
+
+    def test_unrecorded_headline_column_flagged(self, tmp_path):
+        files = dict(OBSERVATORY_FILES)
+        files["obs/trend.py"] = """\
+            MOVER_CATEGORIES = ("memory",)
+            HEADLINE_COLUMNS = ("top_category", "reload_p42")
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        (finding,) = result.findings
+        assert "'reload_p42'" in finding.message
+        assert "HEADLINE_FIELDS" in finding.message
+
+    def test_unregistered_flame_span_flagged(self, tmp_path):
+        files = dict(OBSERVATORY_FILES)
+        files["obs/flame.py"] = """\
+            SPAN_CATEGORY = {
+                "ghost-span": "memory",
+            }
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        (finding,) = result.findings
+        assert finding.path == "obs/flame.py"
+        assert "'ghost-span'" in finding.message
+
+    def test_wildcard_satisfies_flame_span(self, tmp_path):
+        files = dict(OBSERVATORY_FILES)
+        files["obs/flame.py"] = """\
+            SPAN_CATEGORY = {
+                "syscall:pipe": "other",
+            }
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        assert result.findings == []
+
+    def test_unregistered_flame_category_flagged(self, tmp_path):
+        files = dict(OBSERVATORY_FILES)
+        files["obs/flame.py"] = """\
+            SPAN_CATEGORY = {
+                "hw-walk": "unplotted",
+            }
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        (finding,) = result.findings
+        assert "'unplotted'" in finding.message
+
+    def test_stale_hostprof_path_flagged(self, tmp_path):
+        files = dict(OBSERVATORY_FILES)
+        files["obs/hostprof.py"] = """\
+            KERNEL_GROUPS = (
+                ("repro/obs/metrics.py", "metrics"),
+                ("repro/hw/tlb2.py", "tlb"),
+            )
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        (finding,) = result.findings
+        assert finding.path == "obs/hostprof.py"
+        assert "'repro/hw/tlb2.py'" in finding.message
+
+    def test_non_literal_registry_flagged(self, tmp_path):
+        files = dict(OBSERVATORY_FILES)
+        files["obs/history.py"] = """\
+            RECORD_FIELDS = tuple(["total_cycles"])
+            HEADLINE_FIELDS = ("top_category", "tlb_miss")
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        assert any(
+            "RECORD_FIELDS" in f.message and "literal" in f.message
+            for f in result.findings
+        )
+
+    def test_no_observatory_files_no_findings(self, tmp_path):
+        result = run_lint(tmp_path, {"kernel/a.py": "x = 1\n"},
+                          rules=single_rule("observatory-closure"))
+        assert result.findings == []
+
+
 # -- pragmas and baseline ----------------------------------------------------
 
 
@@ -818,7 +968,9 @@ class TestMutations:
 
         result = LintEngine(mutated_package(tmp_path, mutate)).run()
         rules = {f.rule for f in result.findings}
-        assert rules == {"ledger-taxonomy"}
+        # The trend/flame registries consume the category, so the
+        # observatory pass flags the orphaned consumers too.
+        assert rules == {"ledger-taxonomy", "observatory-closure"}
         assert any("'flush'" in f.message for f in result.findings)
 
     def test_deleting_event_registry_entry_fires(self, tmp_path):
@@ -832,7 +984,9 @@ class TestMutations:
 
         result = LintEngine(mutated_package(tmp_path, mutate)).run()
         rules = {f.rule for f in result.findings}
-        assert rules == {"event-registry"}
+        # The flamegraph span table references the event, so the
+        # observatory pass flags the orphaned SPAN_CATEGORY key too.
+        assert rules == {"event-registry", "observatory-closure"}
         assert any("'vsid-bump'" in f.message for f in result.findings)
 
     def test_deleting_bench_consumer_fires(self, tmp_path):
@@ -893,6 +1047,60 @@ class TestMutations:
         rules = {f.rule for f in result.findings}
         assert rules == {"analytics-coverage"}
         assert any("'pipe-create'" in f.message for f in result.findings)
+
+    def test_adding_unknown_ledger_field_fires(self, tmp_path):
+        def mutate(root):
+            path = root / "obs/history.py"
+            source = path.read_text()
+            mutated = source.replace(
+                'RECORD_FIELDS = ("total_cycles",',
+                'RECORD_FIELDS = ("total_cycles", "wall_hint",',
+                1,
+            )
+            assert mutated != source
+            path.write_text(mutated)
+
+        result = LintEngine(mutated_package(tmp_path, mutate)).run()
+        rules = {f.rule for f in result.findings}
+        assert rules == {"observatory-closure"}
+        assert any(
+            "'wall_hint'" in f.message and "RECORD_REQUIRED" in f.message
+            for f in result.findings
+        )
+
+    def test_renaming_flame_span_fires(self, tmp_path):
+        def mutate(root):
+            path = root / "obs/flame.py"
+            source = path.read_text()
+            mutated = source.replace('"hw-walk":', '"hw-walk-x":', 1)
+            assert mutated != source
+            path.write_text(mutated)
+
+        result = LintEngine(mutated_package(tmp_path, mutate)).run()
+        rules = {f.rule for f in result.findings}
+        assert rules == {"observatory-closure"}
+        assert any(
+            "'hw-walk-x'" in f.message and "EVENT_NAMES" in f.message
+            for f in result.findings
+        )
+
+    def test_breaking_hostprof_path_fires(self, tmp_path):
+        def mutate(root):
+            path = root / "obs/hostprof.py"
+            source = path.read_text()
+            mutated = source.replace(
+                '"repro/hw/tlb.py"', '"repro/hw/tlb_legacy.py"', 1
+            )
+            assert mutated != source
+            path.write_text(mutated)
+
+        result = LintEngine(mutated_package(tmp_path, mutate)).run()
+        rules = {f.rule for f in result.findings}
+        assert rules == {"observatory-closure"}
+        assert any(
+            "'repro/hw/tlb_legacy.py'" in f.message
+            for f in result.findings
+        )
 
     def test_adding_taxonomy_value_without_derivation_fires(self, tmp_path):
         def mutate(root):

@@ -285,6 +285,7 @@ class TestMetrics:
                 {"id": f"E{number}", "title": f"experiment {number}",
                  "machines": ["604e/200"], "total_cycles": cycles,
                  "shape_holds": True, "measured": {}, "paper": {},
+                 "attribution": {"user-compute": cycles},
                  "derived": {}},
                 tmp_path,
             )
