@@ -66,6 +66,9 @@ class Rule:
     id: str = ""
     #: One-line description for ``repro lint --list-rules``.
     description: str = ""
+    #: ``error`` (fails the run) or ``warn`` (fails only under
+    #: ``--fail-on-warn``).
+    severity: str = "error"
 
     def check_file(self, ctx: FileContext, report: Report) -> None:
         raise NotImplementedError

@@ -26,7 +26,7 @@ _Fingerprint = Tuple[str, str, str]
 class Baseline:
     """A set of grandfathered finding fingerprints."""
 
-    def __init__(self, fingerprints: Iterable[_Fingerprint] = ()):
+    def __init__(self, fingerprints: Iterable[_Fingerprint] = ()) -> None:
         self.fingerprints: Set[_Fingerprint] = set(fingerprints)
 
     def __len__(self) -> int:

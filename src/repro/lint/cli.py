@@ -13,7 +13,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.lint.baseline import BASELINE_NAME, Baseline
-from repro.lint.engine import LintEngine, rule_catalog
+from repro.lint.engine import ALL_RULES, KNOWN_RULE_IDS, LintEngine, rule_catalog
 
 
 def default_root() -> Path:
@@ -89,8 +89,41 @@ def run_lint(args: argparse.Namespace) -> int:
         Baseline() if args.no_baseline else Baseline.load(baseline_path)
     )
 
-    engine = LintEngine(root, baseline=baseline)
+    effects_on = bool(
+        getattr(args, "effects", False)
+        or getattr(args, "effects_json", None)
+        or getattr(args, "why", None)
+    )
+    suite = None
+    lint_rules = None
+    if effects_on:
+        from repro.lint.effects import EffectRuleSuite
+
+        suite = EffectRuleSuite(frozenset(KNOWN_RULE_IDS))
+        lint_rules = list(ALL_RULES) + suite.rules()
+
+    engine = LintEngine(root, lint_rules=lint_rules, baseline=baseline)
     result = engine.run(paths=paths)
+
+    if suite is not None and suite.analysis is not None:
+        from repro.lint.effects.explain import effects_json, explain_why
+
+        assert suite.roots is not None
+        if getattr(args, "effects_json", None):
+            artifact = effects_json(suite.analysis, suite.roots)
+            payload = json.dumps(artifact, indent=2, sort_keys=True)
+            if args.effects_json == "-":
+                print(payload)
+            else:
+                Path(args.effects_json).write_text(payload + "\n")
+                if not args.json:  # keep --json stdout pure JSON
+                    print(
+                        f"wrote effect summaries for "
+                        f"{artifact['totals']['functions']} functions "  # type: ignore[index]
+                        f"to {args.effects_json}"
+                    )
+        if getattr(args, "why", None):
+            print(explain_why(suite.analysis, suite.roots, args.why))
 
     if args.write_baseline:
         Baseline.write(baseline_path, result.findings + result.baselined)
@@ -100,11 +133,14 @@ def run_lint(args: argparse.Namespace) -> int:
         )
         return 0
 
+    fail_on_warn = bool(getattr(args, "fail_on_warn", False))
+    failed = (not result.ok) or (fail_on_warn and result.warnings)
+
     if args.json:
         record = result.to_record()
         record["root"] = str(root)
         print(json.dumps(record, indent=2, sort_keys=True))
-        return 0 if result.ok else 1
+        return 1 if failed else 0
 
     prefix = f"{root}/"
     for finding in result.findings:
@@ -113,9 +149,14 @@ def run_lint(args: argparse.Namespace) -> int:
         f"{result.files_scanned} files scanned, "
         f"{len(result.findings)} finding(s)"
     )
+    if result.warnings:
+        summary += (
+            f" ({len(result.errors)} error, "
+            f"{len(result.warnings)} warn)"
+        )
     if result.baselined:
         summary += f", {len(result.baselined)} baselined"
     if result.pragma_suppressed:
         summary += f", {result.pragma_suppressed} pragma-suppressed"
     print(summary)
-    return 0 if result.ok else 1
+    return 1 if failed else 0

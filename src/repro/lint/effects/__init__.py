@@ -1,0 +1,38 @@
+"""Interprocedural effect & determinism analysis (DESIGN.md §12).
+
+The per-file rules prove local discipline; the closure passes prove
+registry consistency.  What neither can prove is *reachability*: that
+no call path from an observer hook mutates simulator state, that no
+path reachable from the experiment engine reads a wall clock three
+calls down, that no worker-process function writes state the parent
+shares.  This package closes that gap:
+
+* :mod:`~repro.lint.effects.callgraph` builds a project call graph over
+  every parsed file (AST-based; method calls resolve via receiver
+  hints, class lookup and the layering map);
+* :mod:`~repro.lint.effects.summaries` infers a per-function effect
+  summary — a small lattice of writes/charges/publishes/nondeterminism
+  bits — as a fixpoint over the graph;
+* :mod:`~repro.lint.effects.properties` checks the four project-level
+  properties against the summaries (zero-perturbation, ledger
+  soundness, determinism closure, parallel-runner race freedom);
+* :mod:`~repro.lint.effects.explain` renders the ``--effects-json``
+  per-function summary artifact and the ``--why CALLEE`` call-chain
+  explainer.
+
+Run it with ``python -m repro lint --effects``.  Findings flow through
+the ordinary engine machinery — pragmas, baseline, path scoping — under
+the rule ids in :data:`EFFECT_RULE_IDS`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.effects.properties import (
+    EFFECT_RULE_IDS,
+    EffectRuleSuite,
+)
+
+__all__ = [
+    "EFFECT_RULE_IDS",
+    "EffectRuleSuite",
+]

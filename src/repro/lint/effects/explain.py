@@ -1,0 +1,143 @@
+"""Rendering: the ``--effects-json`` artifact and the ``--why`` explainer.
+
+``effects_json`` serializes every per-function summary (direct sites,
+saturated effect set, the callee each transitive effect arrived
+through) plus the discovered root sets — the CI artifact that makes an
+effects failure diagnosable without rerunning anything locally.
+
+``explain_why`` answers "why does the analyzer care about CALLEE?":
+for a function name (bare, suffix, or fully qualified) it prints the
+function's own summary and, for each reachability property, whether a
+root reaches it and one shortest call chain that proves it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.lint.effects.properties import RootSets, _render_chain, _short
+from repro.lint.effects.summaries import ALL_EFFECTS, EffectAnalysis
+
+
+def effects_json(
+    analysis: EffectAnalysis, roots: RootSets
+) -> Dict[str, object]:
+    """The per-function effect-summary artifact, fully deterministic."""
+    functions: Dict[str, object] = {}
+    for qual in sorted(analysis.summaries):
+        summary = analysis.summaries[qual]
+        info = analysis.graph.functions.get(qual)
+        if info is None:
+            continue
+        direct = {
+            effect: [
+                {"line": site.line, "detail": site.detail}
+                for site in sorted(
+                    summary.direct[effect],
+                    key=lambda s: (s.line, s.col, s.detail),
+                )
+            ]
+            for effect in sorted(summary.direct)
+        }
+        functions[qual] = {
+            "rel": info.rel,
+            "line": info.line,
+            "layer": info.layer,
+            "effects": sorted(summary.effects),
+            "direct": direct,
+            "via": {
+                effect: summary.via[effect]
+                for effect in sorted(summary.via)
+            },
+            "calls": analysis.graph.callees(qual),
+        }
+    effect_counts = {
+        effect: sum(
+            1 for summary in analysis.summaries.values()
+            if effect in summary.effects
+        )
+        for effect in ALL_EFFECTS
+    }
+    return {
+        "functions": functions,
+        "roots": {
+            "perturbation": sorted(roots.perturbation),
+            "determinism": sorted(roots.determinism),
+            "race": sorted(roots.race),
+        },
+        "totals": {
+            "functions": len(functions),
+            "edges": sum(
+                len(callees)
+                for callees in analysis.graph.edges.values()
+            ),
+            "by_effect": effect_counts,
+        },
+    }
+
+
+def _match_functions(analysis: EffectAnalysis, query: str) -> List[str]:
+    """Functions matching a bare name, dotted suffix, or qualname."""
+    if query in analysis.graph.functions:
+        return [query]
+    out: Set[str] = set()
+    for qual, info in analysis.graph.functions.items():
+        if info.name == query or qual.endswith("." + query):
+            out.add(qual)
+    return sorted(out)
+
+
+def explain_why(
+    analysis: EffectAnalysis, roots: RootSets, query: str
+) -> str:
+    """Human-readable ``--why CALLEE`` report."""
+    matches = _match_functions(analysis, query)
+    if not matches:
+        return (
+            f"--why: no function named {query!r} in the call graph "
+            "(use a bare name, dotted suffix, or full qualname)"
+        )
+    sections: List[str] = []
+    named_roots = [
+        ("zero-perturbation hooks", roots.perturbation,
+         roots.perturbation_why),
+        ("determinism closure (analysis/engine.py)", roots.determinism,
+         {}),
+        ("worker processes (race detector)", roots.race, roots.race_why),
+    ]
+    for qual in matches:
+        summary = analysis.summary(qual)
+        info = analysis.graph.functions[qual]
+        lines = [f"{_short(qual)}  ({info.rel}:{info.line})"]
+        if summary is None or not summary.effects:
+            lines.append("  effects: none (transitively pure)")
+        else:
+            lines.append(
+                "  effects: " + ", ".join(sorted(summary.effects))
+            )
+            for effect in sorted(summary.effects):
+                if effect in summary.direct:
+                    site = summary.direct[effect][0]
+                    lines.append(
+                        f"    {effect}: direct — {site.detail} "
+                        f"({info.rel}:{site.line})"
+                    )
+                else:
+                    via = summary.via.get(effect)
+                    if via is not None:
+                        lines.append(
+                            f"    {effect}: via {_short(via)}"
+                        )
+        for label, root_set, root_why in named_roots:
+            chain = analysis.graph.shortest_chain(root_set, qual)
+            if chain is None:
+                lines.append(f"  {label}: not reachable")
+            else:
+                origin = root_why.get(chain[0], "")
+                note = f"  [{origin}]" if origin else ""
+                lines.append(
+                    f"  {label}: reachable via "
+                    f"{_render_chain(chain)}{note}"
+                )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

@@ -1,0 +1,571 @@
+"""The four project-level properties checked against effect summaries.
+
+Each property is a :class:`~repro.lint.base.ProjectRule`, so findings
+flow through the ordinary engine machinery (pragmas, baseline, path
+scoping) under a dedicated rule id:
+
+``effect-perturbation``
+    Every function reachable from an observer/sanitizer hook entry
+    point — the ``tracer.*`` / ``sanitizer.*`` calls the simulated core
+    makes into attached recorders, plus the ``clock.observer`` callback
+    — is transitively read-only over simulator state.  A hook that
+    mutates the machine, charges the ledger, or assigns foreign
+    attributes would make traced runs diverge from untraced ones.
+
+``effect-ledger``
+    Cycle totals move only through :meth:`CycleLedger.add` charge
+    sites: no function anywhere may store to ``<clock|ledger>.total``
+    or ``._by_category`` outside ``hw/clock.py``.  This one is not a
+    reachability property — minting cycles is illegal from *any*
+    caller.
+
+``effect-determinism``
+    Nothing reachable from the ``analysis/engine.py`` execute paths
+    reaches unseeded RNG, wall clock, or unordered-set iteration —
+    the per-file rules generalized to call-graph reachability, so the
+    ban follows the call chain out of ``SIMULATED_LAYERS`` into
+    top-level helpers.  ``obs``/``check`` sites are exempt by the
+    observe-from-outside contract (their wall-clock use is reporting
+    only); their *writes* are governed by ``effect-perturbation``.
+
+``effect-race``
+    Functions executed in worker processes (anything handed to a
+    ``multiprocessing`` pool method, ``Process(target=...)`` or an
+    executor ``submit``) must not write module-level or
+    closure-captured state shared with the parent — exactly the
+    hazards a fork inherits silently and the SMP/work-queue roadmap
+    items would hit at runtime.
+
+:class:`EffectRuleSuite` shares one call graph + fixpoint across the
+four rules, computed lazily on the first ``check_project`` call of a
+run and keyed on the context list's identity.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.base import FileContext, ProjectRule, receiver_tail
+from repro.lint.effects.callgraph import (
+    CallGraph,
+    RECEIVER_CLASS_HINTS,
+    build_callgraph,
+)
+from repro.lint.effects.summaries import (
+    CHARGES_LEDGER,
+    CORE_LAYERS,
+    EffectAnalysis,
+    MINTS_CYCLES,
+    UNORDERED_ITER,
+    UNSEEDED_RNG,
+    WALL_CLOCK,
+    WRITES_CLOSURE,
+    WRITES_FOREIGN_STATE,
+    WRITES_MODULE_STATE,
+    WRITES_SIM_STATE,
+    analyze,
+)
+from repro.lint.closure import ProjectReport
+
+#: The four property rule ids, in reporting order.
+EFFECT_RULE_IDS: Tuple[str, ...] = (
+    "effect-perturbation",
+    "effect-ledger",
+    "effect-determinism",
+    "effect-race",
+)
+
+#: Effects that perturb the simulation when reached from a hook.
+PERTURBING_EFFECTS: FrozenSet[str] = frozenset({
+    WRITES_SIM_STATE,
+    MINTS_CYCLES,
+    CHARGES_LEDGER,
+    WRITES_FOREIGN_STATE,
+})
+
+#: Effects that break replay when reached from the engine.
+NONDETERMINISM_EFFECTS: FrozenSet[str] = frozenset({
+    UNSEEDED_RNG,
+    WALL_CLOCK,
+    UNORDERED_ITER,
+})
+
+#: Effects that race a forked worker against its parent.
+RACE_EFFECTS: FrozenSet[str] = frozenset({
+    WRITES_MODULE_STATE,
+    WRITES_CLOSURE,
+})
+
+#: Hook receiver slots whose method calls from the core are entry
+#: points into observer/sanitizer code.
+_HOOK_RECEIVERS = ("tracer", "sanitizer")
+
+#: ``multiprocessing``/executor methods whose first argument runs in a
+#: worker.
+_SPAWN_METHODS: FrozenSet[str] = frozenset({
+    "imap", "imap_unordered", "map_async", "starmap", "starmap_async",
+    "apply", "apply_async", "submit",
+})
+
+#: Constructors whose ``target=`` keyword runs in a worker.
+_SPAWN_CONSTRUCTORS: FrozenSet[str] = frozenset({"Process", "Thread"})
+
+#: ``pool.map`` needs special care: ``map`` is also a builtin and an
+#: ambient method name, but here we resolve the *argument*, so a
+#: same-named dict method cannot add edges — only spawn roots.
+_POOL_MAP = "map"
+
+#: The engine module whose top-level functions root the determinism
+#: closure.
+_ENGINE_REL = "analysis/engine.py"
+
+
+@dataclass
+class RootSets:
+    """The discovered entry points for the reachability properties.
+
+    ``*_why`` maps each root qualname to a human-readable description
+    of the site that made it a root (for ``--why`` output).
+    """
+
+    perturbation: Set[str] = field(default_factory=set)
+    determinism: Set[str] = field(default_factory=set)
+    race: Set[str] = field(default_factory=set)
+    perturbation_why: Dict[str, str] = field(default_factory=dict)
+    race_why: Dict[str, str] = field(default_factory=dict)
+
+
+def discover_roots(
+    contexts: List[FileContext], graph: CallGraph
+) -> RootSets:
+    roots = RootSets()
+    _hook_roots(contexts, graph, roots)
+    _engine_roots(graph, roots)
+    _spawn_roots(contexts, graph, roots)
+    return roots
+
+
+def _hint_methods(graph: CallGraph, tail: str, method: str) -> List[str]:
+    """Resolve ``<tail>.<method>`` via the receiver-hint class table."""
+    out: List[str] = []
+    for class_name in RECEIVER_CLASS_HINTS.get(tail, ()):
+        for cls_qual in graph.classes_by_name.get(class_name, []):
+            info = graph.classes.get(cls_qual)
+            if info is None:
+                continue
+            found = info.methods.get(method)
+            if found is not None:
+                out.append(found)
+    return out
+
+
+def _hook_roots(
+    contexts: List[FileContext], graph: CallGraph, roots: RootSets
+) -> None:
+    """Hook entry points: core-side calls into attached recorders."""
+    for ctx in contexts:
+        if ctx.layer in CORE_LAYERS:
+            for node in ast.walk(ctx.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                tail = receiver_tail(node.func.value)
+                if tail not in _HOOK_RECEIVERS:
+                    continue
+                for qual in _hint_methods(graph, tail, node.func.attr):
+                    info = graph.functions.get(qual)
+                    if info is None or info.layer not in ("obs", "check"):
+                        continue
+                    roots.perturbation.add(qual)
+                    roots.perturbation_why.setdefault(
+                        qual,
+                        f"called as {tail}.{node.func.attr}(...) from "
+                        f"{ctx.rel}:{node.lineno}",
+                    )
+        # Observer callbacks: ``<...>.observer = <bound method>``.
+        for node in ast.walk(ctx.tree):
+            value: Optional[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "observer"
+                ):
+                    continue
+                for qual in _callback_targets(graph, ctx, value):
+                    roots.perturbation.add(qual)
+                    roots.perturbation_why.setdefault(
+                        qual,
+                        "installed as a clock observer at "
+                        f"{ctx.rel}:{node.lineno}",
+                    )
+
+
+def _callback_targets(
+    graph: CallGraph, ctx: FileContext, value: ast.expr
+) -> List[str]:
+    """Functions an observer-slot assignment may install."""
+    if isinstance(value, ast.Name):
+        qual = f"{ctx.module}.{value.id}"
+        if qual in graph.functions:
+            return [qual]
+        # Imported name: every obs/check module-level def of that name.
+        return sorted(
+            q for q, info in graph.functions.items()
+            if info.name == value.id and info.cls is None
+            and info.layer in ("obs", "check")
+        )
+    if isinstance(value, ast.Attribute):
+        method = value.attr
+        tail = receiver_tail(value.value)
+        if tail is not None:
+            hinted = _hint_methods(graph, tail, method)
+            if hinted:
+                return hinted
+        # Fall back to every obs/check method of that name.
+        return [
+            qual
+            for qual in graph.methods_by_name.get(method, [])
+            if graph.functions[qual].layer in ("obs", "check")
+        ]
+    return []
+
+
+def _engine_roots(graph: CallGraph, roots: RootSets) -> None:
+    """Determinism roots: every function defined in the engine module."""
+    for qual, info in graph.functions.items():
+        if info.rel == _ENGINE_REL:
+            roots.determinism.add(qual)
+
+
+def _spawn_roots(
+    contexts: List[FileContext], graph: CallGraph, roots: RootSets
+) -> None:
+    """Race roots: functions handed to pools, processes, executors."""
+    for ctx in contexts:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            candidate: Optional[ast.expr] = None
+            how = ""
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if (
+                    func.attr in _SPAWN_METHODS
+                    or (func.attr == _POOL_MAP
+                        and receiver_tail(func.value) in
+                        ("pool", "executor"))
+                ) and node.args:
+                    candidate = node.args[0]
+                    how = f".{func.attr}(...)"
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else getattr(func, "attr", None)
+            )
+            if name in _SPAWN_CONSTRUCTORS:
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        candidate = keyword.value
+                        how = f"{name}(target=...)"
+            if candidate is None:
+                continue
+            for qual in _worker_targets(graph, ctx, candidate):
+                roots.race.add(qual)
+                roots.race_why.setdefault(
+                    qual,
+                    f"dispatched to a worker via {how} at "
+                    f"{ctx.rel}:{node.lineno}",
+                )
+
+
+def _worker_targets(
+    graph: CallGraph, ctx: FileContext, value: ast.expr
+) -> List[str]:
+    """Resolve a worker-function argument to graph nodes."""
+    if isinstance(value, ast.Name):
+        qual = f"{ctx.module}.{value.id}"
+        if qual in graph.functions:
+            return [qual]
+        # Imported or aliased: every module-level def of that name.
+        return sorted(
+            q for q, info in graph.functions.items()
+            if info.name == value.id and info.cls is None
+        )
+    if isinstance(value, ast.Attribute):
+        method = value.attr
+        return sorted(
+            q for q, info in graph.functions.items()
+            if info.name == method
+        )
+    return []
+
+
+# -- the shared analysis ------------------------------------------------------
+
+
+class _SharedAnalysis:
+    """One call graph + fixpoint per engine run, shared by the suite."""
+
+    def __init__(self, known_rule_ids: FrozenSet[str]) -> None:
+        self.known_rule_ids = known_rule_ids
+        self._contexts: Optional[List[FileContext]] = None
+        self.analysis: Optional[EffectAnalysis] = None
+        self.roots: Optional[RootSets] = None
+
+    def get(
+        self, contexts: List[FileContext]
+    ) -> Tuple[EffectAnalysis, RootSets]:
+        if self._contexts is not contexts or self.analysis is None:
+            graph = build_callgraph(contexts)
+            self.analysis = analyze(contexts, graph, self.known_rule_ids)
+            self.roots = discover_roots(contexts, graph)
+            self._contexts = contexts
+        assert self.roots is not None
+        return self.analysis, self.roots
+
+
+def _short(qualname: str) -> str:
+    """``repro.obs.sampler.TimeSeriesSampler.on_cycles`` -> readable."""
+    return qualname[len("repro."):] if qualname.startswith("repro.") else qualname
+
+
+def _render_chain(chain: Optional[List[str]]) -> str:
+    if not chain:
+        return "<unreachable>"
+    return " -> ".join(_short(link) for link in chain)
+
+
+class _EffectPropertyRule(ProjectRule):
+    """Base for the four checks: resolves the shared analysis."""
+
+    def __init__(self, shared: _SharedAnalysis) -> None:
+        self.shared = shared
+
+    def check_project(
+        self, contexts: List[FileContext], report: ProjectReport
+    ) -> None:
+        analysis, roots = self.shared.get(contexts)
+        by_rel = {ctx.rel: ctx for ctx in contexts}
+        self.check_effects(analysis, roots, by_rel, report)
+
+    def check_effects(
+        self,
+        analysis: EffectAnalysis,
+        roots: RootSets,
+        by_rel: Dict[str, FileContext],
+        report: ProjectReport,
+    ) -> None:
+        raise NotImplementedError
+
+    def _report_sites(
+        self,
+        analysis: EffectAnalysis,
+        root_set: Set[str],
+        root_why: Dict[str, str],
+        effects: FrozenSet[str],
+        by_rel: Dict[str, FileContext],
+        report: ProjectReport,
+        consequence: str,
+        skip_layers: FrozenSet[str] = frozenset(),
+    ) -> None:
+        """Report every direct effect site reachable from ``root_set``."""
+        graph = analysis.graph
+        for qual in sorted(graph.reachable(root_set)):
+            summary = analysis.summary(qual)
+            if summary is None:
+                continue
+            info = graph.functions[qual]
+            if info.layer in skip_layers:
+                continue
+            hits = sorted(effects & set(summary.direct))
+            if not hits:
+                continue
+            chain = graph.shortest_chain(root_set, qual)
+            root = chain[0] if chain else qual
+            origin = root_why.get(root, "")
+            origin_note = f" ({origin})" if origin else ""
+            ctx = by_rel.get(info.rel)
+            if ctx is None:
+                continue
+            for effect in hits:
+                for site in summary.direct[effect]:
+                    node = _SiteNode(site.line, site.col)
+                    report(
+                        ctx,
+                        node,
+                        f"{_short(qual)} {site.detail}, but is "
+                        f"reachable via {_render_chain(chain)}"
+                        f"{origin_note}; {consequence}",
+                    )
+
+
+class _SiteNode:
+    """A minimal node carrying a location for the engine's report."""
+
+    def __init__(self, lineno: int, col_offset: int) -> None:
+        self.lineno = lineno
+        self.col_offset = col_offset
+
+
+class PerturbationClosureRule(_EffectPropertyRule):
+    id = "effect-perturbation"
+    description = (
+        "functions reachable from observer/sanitizer hook entry points "
+        "are transitively read-only over simulator state"
+    )
+
+    def check_effects(
+        self,
+        analysis: EffectAnalysis,
+        roots: RootSets,
+        by_rel: Dict[str, FileContext],
+        report: ProjectReport,
+    ) -> None:
+        self._report_sites(
+            analysis,
+            roots.perturbation,
+            roots.perturbation_why,
+            PERTURBING_EFFECTS,
+            by_rel,
+            report,
+            "observer hooks must not perturb the simulation",
+        )
+
+
+class LedgerSoundnessRule(_EffectPropertyRule):
+    id = "effect-ledger"
+    description = (
+        "cycle totals change only through CycleLedger.add charge sites "
+        "in hw/clock.py — no path may mint cycles"
+    )
+
+    def check_effects(
+        self,
+        analysis: EffectAnalysis,
+        roots: RootSets,
+        by_rel: Dict[str, FileContext],
+        report: ProjectReport,
+    ) -> None:
+        # Not a reachability property: minting is illegal everywhere.
+        for qual in sorted(analysis.summaries):
+            summary = analysis.summaries[qual]
+            sites = summary.direct.get(MINTS_CYCLES, [])
+            if not sites:
+                continue
+            info = analysis.graph.functions[qual]
+            ctx = by_rel.get(info.rel)
+            if ctx is None:
+                continue
+            for site in sites:
+                report(
+                    ctx,
+                    _SiteNode(site.line, site.col),
+                    f"{_short(qual)} {site.detail}; cycle totals may "
+                    "only change through CycleLedger.add charge sites "
+                    "in hw/clock.py",
+                )
+
+
+class DeterminismClosureRule(_EffectPropertyRule):
+    id = "effect-determinism"
+    description = (
+        "nothing reachable from analysis/engine.py execute paths "
+        "reaches unseeded RNG, wall clock, or unordered-set iteration"
+    )
+
+    def check_effects(
+        self,
+        analysis: EffectAnalysis,
+        roots: RootSets,
+        by_rel: Dict[str, FileContext],
+        report: ProjectReport,
+    ) -> None:
+        self._report_sites(
+            analysis,
+            roots.determinism,
+            {},
+            NONDETERMINISM_EFFECTS,
+            by_rel,
+            report,
+            "result-producing paths must replay bit-identically",
+            # Recorder layers observe from outside; their wall-clock
+            # use is reporting-only (see SIMULATED_LAYERS), and their
+            # writes are policed by effect-perturbation.
+            skip_layers=frozenset({"obs", "check"}),
+        )
+
+
+class RaceFreedomRule(_EffectPropertyRule):
+    id = "effect-race"
+    description = (
+        "functions executed in worker processes do not write module or "
+        "closure state shared with the parent"
+    )
+
+    def check_effects(
+        self,
+        analysis: EffectAnalysis,
+        roots: RootSets,
+        by_rel: Dict[str, FileContext],
+        report: ProjectReport,
+    ) -> None:
+        self._report_sites(
+            analysis,
+            roots.race,
+            roots.race_why,
+            RACE_EFFECTS,
+            by_rel,
+            report,
+            "worker processes must not share mutable state with the "
+            "parent",
+        )
+
+
+class EffectRuleSuite:
+    """The four property rules wired to one shared analysis."""
+
+    def __init__(self, known_rule_ids: Optional[FrozenSet[str]] = None) -> None:
+        if known_rule_ids is None:
+            # Late import: the engine imports this module for the ids.
+            from repro.lint.engine import KNOWN_RULE_IDS
+            known_rule_ids = frozenset(KNOWN_RULE_IDS)
+        self.shared = _SharedAnalysis(known_rule_ids)
+
+    def rules(self) -> List[ProjectRule]:
+        return [
+            PerturbationClosureRule(self.shared),
+            LedgerSoundnessRule(self.shared),
+            DeterminismClosureRule(self.shared),
+            RaceFreedomRule(self.shared),
+        ]
+
+    @property
+    def analysis(self) -> Optional[EffectAnalysis]:
+        """The computed analysis (after a run), for --effects-json/--why."""
+        return self.shared.analysis
+
+    @property
+    def roots(self) -> Optional[RootSets]:
+        return self.shared.roots
+
+
+#: id -> description for the engine's rule catalog (the suite is
+#: instantiated per run, but the catalog is static).
+EFFECT_RULE_DESCRIPTIONS: Dict[str, str] = {
+    cls.id: cls.description
+    for cls in (
+        PerturbationClosureRule,
+        LedgerSoundnessRule,
+        DeterminismClosureRule,
+        RaceFreedomRule,
+    )
+}

@@ -1,0 +1,633 @@
+"""Per-function effect summaries and the fixpoint over the call graph.
+
+The lattice is a set of effect bits per function; the partial order is
+set inclusion and the transfer function is union, so the fixpoint is a
+plain reachability saturation:
+
+    ``effects(f) = direct(f) ∪ ⋃ effects(g) for g called by f``
+
+Direct effects (collected per function body, nested defs excluded —
+they are their own nodes):
+
+* ``writes-sim-state`` — any attribute store, attribute-rooted
+  subscript store, or container-mutator call on machine state in the
+  simulated core (``hw``/``kernel``/``sim``): the machine *is* its
+  attributes there;
+* ``writes-own-state`` — the same store shapes on ``self`` outside the
+  core (an observer appending to its own ring buffer);
+* ``writes-foreign-state`` — an ``obs``/``check`` function storing
+  through a non-``self`` root (the interprocedural face of the
+  per-file zero-perturbation rule);
+* ``writes-module-state`` / ``writes-closure`` — stores that escape the
+  frame: ``global``-declared names, module-level objects mutated in
+  place, ``nonlocal`` rebinding.  These are exactly the writes that are
+  invisible to a forked worker's parent — the race hazards;
+* ``mints-cycles`` — a store to ``<clock|ledger>.total`` or
+  ``._by_category`` anywhere outside ``hw/clock.py``: cycle totals may
+  only move through :meth:`CycleLedger.add` charge sites;
+* ``charges-ledger`` / ``publishes-event`` — ledger charges and
+  tracer/monitor publications (the closure passes own their registry
+  checks; here they mark perturbation);
+* ``unseeded-rng`` / ``wall-clock`` / ``unordered-iter`` — the
+  determinism bits, same site patterns as the per-file rules but
+  collected in *every* layer (reachability decides relevance, not the
+  directory the file happens to live in).
+
+A site suppressed by a pragma naming the matching per-file rule (or
+the effect rule itself) is dropped before propagation: a justified
+local exception must not taint every caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.base import FileContext, attr_root, dotted_name, receiver_tail
+from repro.lint.effects.callgraph import CallGraph, FunctionInfo, _local_walk
+from repro.lint.pragmas import FilePragmas, parse_pragmas
+from repro.lint.rules import (
+    _GLOBAL_RANDOM_FUNCS,
+    _WALL_CLOCK_CALLS,
+    _is_set_expr,
+)
+
+# -- the effect vocabulary ---------------------------------------------------
+
+WRITES_SIM_STATE = "writes-sim-state"
+WRITES_OWN_STATE = "writes-own-state"
+WRITES_FOREIGN_STATE = "writes-foreign-state"
+WRITES_MODULE_STATE = "writes-module-state"
+WRITES_CLOSURE = "writes-closure"
+MINTS_CYCLES = "mints-cycles"
+CHARGES_LEDGER = "charges-ledger"
+PUBLISHES_EVENT = "publishes-event"
+UNSEEDED_RNG = "unseeded-rng"
+WALL_CLOCK = "wall-clock"
+UNORDERED_ITER = "unordered-iter"
+
+#: Every effect, in the order summaries serialize them.
+ALL_EFFECTS: Tuple[str, ...] = (
+    WRITES_SIM_STATE,
+    WRITES_OWN_STATE,
+    WRITES_FOREIGN_STATE,
+    WRITES_MODULE_STATE,
+    WRITES_CLOSURE,
+    MINTS_CYCLES,
+    CHARGES_LEDGER,
+    PUBLISHES_EVENT,
+    UNSEEDED_RNG,
+    WALL_CLOCK,
+    UNORDERED_ITER,
+)
+
+#: The simulated core: attribute state there is machine state.
+CORE_LAYERS: FrozenSet[str] = frozenset({"hw", "kernel", "sim"})
+
+#: In-place container mutators (a call, not a store, but an effect).
+_MUTATOR_METHODS: FrozenSet[str] = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "insert", "pop", "popitem", "remove", "reverse", "rotate",
+    "setdefault", "sort", "update",
+})
+
+#: effect -> the per-file rule whose pragma also covers the site.
+_PRAGMA_ALIASES: Dict[str, Tuple[str, ...]] = {
+    UNSEEDED_RNG: ("unseeded-random",),
+    WALL_CLOCK: ("wall-clock",),
+    UNORDERED_ITER: ("set-iteration",),
+    WRITES_FOREIGN_STATE: ("zero-perturbation",),
+}
+
+#: The ledger's own home: the one file allowed to touch its internals.
+_LEDGER_HOME = "hw/clock.py"
+_LEDGER_INTERNALS = frozenset({"total", "_by_category"})
+_LEDGER_RECEIVERS = frozenset({"clock", "ledger"})
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One direct-effect occurrence, pinned to a location."""
+
+    effect: str
+    rel: str
+    line: int
+    col: int
+    detail: str
+
+
+@dataclass
+class FunctionSummary:
+    """Direct and transitive effects of one function."""
+
+    qualname: str
+    direct: Dict[str, List[EffectSite]] = field(default_factory=dict)
+    #: Direct ∪ callee effects, after the fixpoint.
+    effects: Set[str] = field(default_factory=set)
+    #: effect -> callee qualname the effect arrived through (first
+    #: deterministic witness; direct effects have no entry).
+    via: Dict[str, str] = field(default_factory=dict)
+
+    def add_site(self, site: EffectSite) -> None:
+        self.direct.setdefault(site.effect, []).append(site)
+        self.effects.add(site.effect)
+
+
+class EffectAnalysis:
+    """The computed artifact: graph + summaries + site index."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        summaries: Dict[str, FunctionSummary],
+        pragmas_by_rel: Dict[str, FilePragmas],
+    ) -> None:
+        self.graph = graph
+        self.summaries = summaries
+        self.pragmas_by_rel = pragmas_by_rel
+
+    def summary(self, qualname: str) -> Optional[FunctionSummary]:
+        return self.summaries.get(qualname)
+
+
+def analyze(
+    contexts: List[FileContext],
+    graph: CallGraph,
+    known_rule_ids: FrozenSet[str],
+) -> EffectAnalysis:
+    """Collect direct effects for every function, then saturate."""
+    pragmas_by_rel = {
+        ctx.rel: parse_pragmas(ctx.lines, set(known_rule_ids))
+        for ctx in contexts
+    }
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    summaries: Dict[str, FunctionSummary] = {}
+    for qualname, info in graph.functions.items():
+        ctx = by_rel.get(info.rel)
+        if ctx is None:
+            continue
+        collector = _DirectEffects(info, ctx, pragmas_by_rel[info.rel])
+        summaries[qualname] = collector.collect()
+    _saturate(graph, summaries)
+    return EffectAnalysis(graph, summaries, pragmas_by_rel)
+
+
+def _saturate(
+    graph: CallGraph, summaries: Dict[str, FunctionSummary]
+) -> None:
+    """Propagate effects caller-ward to a fixpoint (worklist)."""
+    callers: Dict[str, List[str]] = {}
+    for caller, callees in graph.edges.items():
+        for callee in callees:
+            callers.setdefault(callee, []).append(caller)
+    worklist = sorted(summaries)
+    pending = set(worklist)
+    while worklist:
+        current = worklist.pop()
+        pending.discard(current)
+        summary = summaries.get(current)
+        if summary is None:
+            continue
+        for caller in sorted(callers.get(current, [])):
+            caller_summary = summaries.get(caller)
+            if caller_summary is None:
+                continue
+            new = summary.effects - caller_summary.effects
+            if not new:
+                continue
+            for effect in sorted(new):
+                caller_summary.effects.add(effect)
+                caller_summary.via.setdefault(effect, current)
+            if caller not in pending:
+                pending.add(caller)
+                worklist.append(caller)
+
+
+# -- direct-effect collection ------------------------------------------------
+
+
+def _flatten(target: ast.expr) -> Iterator[ast.expr]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten(element)
+    elif isinstance(target, ast.Starred):
+        yield from _flatten(target.value)
+    else:
+        yield target
+
+
+def _store_root(node: ast.expr) -> Optional[ast.expr]:
+    """The leftmost expression under an Attribute/Subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+class _DirectEffects:
+    """Walks one function body and records its direct effect sites."""
+
+    def __init__(
+        self, info: FunctionInfo, ctx: FileContext, pragmas: FilePragmas
+    ) -> None:
+        self.info = info
+        self.ctx = ctx
+        self.pragmas = pragmas
+        self.summary = FunctionSummary(qualname=info.qualname)
+        node = info.node
+        self.body: List[ast.AST]
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.body = list(node.body)
+        elif isinstance(node, ast.Lambda):
+            self.body = [node.body]
+        else:
+            self.body = []
+        self.declared_global: Set[str] = set()
+        self.declared_nonlocal: Set[str] = set()
+        self.local_names: Set[str] = set()
+        self.module_names: Set[str] = self._module_level_names()
+
+    def collect(self) -> FunctionSummary:
+        self._scan_scopes()
+        for node in _local_walk(self.body):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                self._on_store(node)
+            elif isinstance(node, ast.Delete):
+                self._on_store(node)
+            elif isinstance(node, ast.Call):
+                self._on_call(node)
+            elif isinstance(node, ast.ImportFrom):
+                self._on_import_from(node)
+        self._on_set_iteration()
+        return self.summary
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _module_level_names(self) -> Set[str]:
+        """Names bound at module level (assignments, defs, imports)."""
+        names: Set[str] = set()
+        for stmt in self.ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for leaf in _flatten(target):
+                        if isinstance(leaf, ast.Name):
+                            names.add(leaf.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    names.add(stmt.target.id)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.split(".", 1)[0])
+        return names
+
+    def _scan_scopes(self) -> None:
+        """Locals, params and global/nonlocal declarations up front."""
+        node = self.info.node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            args = node.args
+            for arg in (
+                args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                self.local_names.add(arg.arg)
+        for sub in _local_walk(self.body):
+            if isinstance(sub, ast.Global):
+                self.declared_global.update(sub.names)
+            elif isinstance(sub, ast.Nonlocal):
+                self.declared_nonlocal.update(sub.names)
+            elif isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, ast.Store
+            ):
+                self.local_names.add(sub.id)
+            elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                for leaf in _flatten(sub.target):
+                    if isinstance(leaf, ast.Name):
+                        self.local_names.add(leaf.id)
+        self.local_names -= self.declared_global
+        self.local_names -= self.declared_nonlocal
+
+    def _record(
+        self, effect: str, node: ast.AST, detail: str
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        for rule_id in _PRAGMA_ALIASES.get(effect, ()):
+            if self.pragmas.suppresses(rule_id, line):
+                return
+        self.summary.add_site(
+            EffectSite(
+                effect=effect,
+                rel=self.info.rel,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                detail=detail,
+            )
+        )
+
+    # -- stores --------------------------------------------------------------
+
+    def _on_store(self, node: ast.stmt) -> None:
+        targets: List[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        else:
+            return
+        for raw in targets:
+            for target in _flatten(raw):
+                if isinstance(target, ast.Name):
+                    self._on_name_store(node, target)
+                elif isinstance(target, ast.Attribute):
+                    self._on_attribute_store(node, target)
+                elif isinstance(target, ast.Subscript):
+                    self._on_subscript_store(node, target)
+
+    def _on_name_store(self, node: ast.stmt, target: ast.Name) -> None:
+        if target.id in self.declared_global:
+            self._record(
+                WRITES_MODULE_STATE, node,
+                f"rebinds module global '{target.id}'",
+            )
+        elif target.id in self.declared_nonlocal:
+            self._record(
+                WRITES_CLOSURE, node,
+                f"rebinds closure variable '{target.id}'",
+            )
+
+    def _on_attribute_store(
+        self, node: ast.stmt, target: ast.Attribute
+    ) -> None:
+        spelled = ast.unparse(target)
+        if (
+            target.attr in _LEDGER_INTERNALS
+            and receiver_tail(target.value) in _LEDGER_RECEIVERS
+            and self.info.rel != _LEDGER_HOME
+        ):
+            self._record(
+                MINTS_CYCLES, node,
+                f"writes ledger internals '{spelled}'",
+            )
+        root = attr_root(target)
+        if (
+            isinstance(root, ast.Name)
+            and root.id not in ("self", "cls")
+            and root.id in self.module_names
+            and root.id not in self.local_names
+        ):
+            self._record(
+                WRITES_MODULE_STATE, node,
+                f"mutates module-level '{spelled}'",
+            )
+            if self.info.layer not in CORE_LAYERS:
+                return
+        if self.info.layer in CORE_LAYERS:
+            # Depth-1 self stores inside a constructor initialize a
+            # freshly allocated object: nothing pre-existing moves.
+            if (
+                self.info.name in ("__init__", "__post_init__")
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self._record(
+                    WRITES_OWN_STATE, node, f"stores to '{spelled}'"
+                )
+            else:
+                self._record(
+                    WRITES_SIM_STATE, node,
+                    f"stores to '{spelled}'",
+                )
+            return
+        if isinstance(root, ast.Name) and root.id in ("self", "cls"):
+            self._record(
+                WRITES_OWN_STATE, node, f"stores to '{spelled}'"
+            )
+        elif self.info.layer in ("obs", "check"):
+            self._record(
+                WRITES_FOREIGN_STATE, node,
+                f"assigns foreign attribute '{spelled}'",
+            )
+        else:
+            self._record(
+                WRITES_OWN_STATE, node, f"stores to '{spelled}'"
+            )
+
+    def _on_subscript_store(
+        self, node: ast.stmt, target: ast.Subscript
+    ) -> None:
+        root = _store_root(target)
+        spelled = ast.unparse(target.value)
+        attr_rooted = isinstance(target.value, (ast.Attribute, ast.Subscript))
+        if isinstance(root, ast.Name):
+            if root.id in ("self", "cls"):
+                effect = (
+                    WRITES_SIM_STATE
+                    if self.info.layer in CORE_LAYERS
+                    else WRITES_OWN_STATE
+                )
+                self._record(
+                    effect, node, f"stores into '{spelled}[...]'"
+                )
+                return
+            if (
+                root.id in self.module_names
+                and root.id not in self.local_names
+            ):
+                self._record(
+                    WRITES_MODULE_STATE, node,
+                    f"mutates module-level '{spelled}[...]'",
+                )
+                if self.info.layer in CORE_LAYERS:
+                    self._record(
+                        WRITES_SIM_STATE, node,
+                        f"stores into '{spelled}[...]'",
+                    )
+                return
+            if attr_rooted and self.info.layer in CORE_LAYERS:
+                self._record(
+                    WRITES_SIM_STATE, node,
+                    f"stores into '{spelled}[...]'",
+                )
+
+    # -- calls ---------------------------------------------------------------
+
+    def _on_call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        self._on_rng_call(node, name)
+        self._on_wall_clock_call(node, name)
+        self._on_ledger_call(node, name)
+        self._on_publish_call(node)
+        self._on_mutator_call(node)
+
+    def _on_rng_call(self, node: ast.Call, name: Optional[str]) -> None:
+        if name is None:
+            return
+        if (
+            name.startswith("random.")
+            and name[len("random."):] in _GLOBAL_RANDOM_FUNCS
+        ):
+            self._record(
+                UNSEEDED_RNG, node, f"calls {name}() (global generator)"
+            )
+        elif name == "random.Random" and not node.args and not node.keywords:
+            self._record(
+                UNSEEDED_RNG, node, "constructs random.Random() unseeded"
+            )
+
+    def _on_wall_clock_call(
+        self, node: ast.Call, name: Optional[str]
+    ) -> None:
+        if name in _WALL_CLOCK_CALLS:
+            self._record(WALL_CLOCK, node, f"calls {name}()")
+
+    def _on_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if f"time.{alias.name}" in _WALL_CLOCK_CALLS:
+                    self._record(
+                        WALL_CLOCK, node,
+                        f"imports wall-clock source time.{alias.name}",
+                    )
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name != "Random":
+                    self._record(
+                        UNSEEDED_RNG, node,
+                        f"imports random.{alias.name} "
+                        "(global generator)",
+                    )
+
+    def _on_ledger_call(self, node: ast.Call, name: Optional[str]) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add"
+            and receiver_tail(node.func.value) in _LEDGER_RECEIVERS
+            and len(node.args) >= 1
+        ):
+            self._record(
+                CHARGES_LEDGER, node,
+                f"charges the ledger via "
+                f"'{ast.unparse(node.func)}(...)'",
+            )
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "category":
+                self._record(
+                    CHARGES_LEDGER, node,
+                    "threads a ledger charge (category=...)",
+                )
+                return
+
+    def _on_publish_call(self, node: ast.Call) -> None:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        tail = receiver_tail(node.func.value)
+        if tail == "tracer" and node.func.attr in (
+            "instant", "complete", "counter"
+        ):
+            self._record(
+                PUBLISHES_EVENT, node,
+                f"publishes tracer event via .{node.func.attr}(...)",
+            )
+        elif tail == "monitor" and node.func.attr == "count":
+            self._record(
+                PUBLISHES_EVENT, node, "bumps a monitor counter"
+            )
+
+    def _on_mutator_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _MUTATOR_METHODS:
+            return
+        receiver = func.value
+        root = _store_root(receiver)
+        spelled = ast.unparse(receiver)
+        if isinstance(root, ast.Name):
+            if root.id in ("self", "cls"):
+                effect = (
+                    WRITES_SIM_STATE
+                    if self.info.layer in CORE_LAYERS
+                    else WRITES_OWN_STATE
+                )
+                self._record(
+                    effect, node, f"mutates '{spelled}' in place"
+                )
+            elif (
+                root.id in self.module_names
+                and root.id not in self.local_names
+            ):
+                self._record(
+                    WRITES_MODULE_STATE, node,
+                    f"mutates module-level '{spelled}' in place",
+                )
+                if self.info.layer in CORE_LAYERS:
+                    self._record(
+                        WRITES_SIM_STATE, node,
+                        f"mutates '{spelled}' in place",
+                    )
+            elif (
+                isinstance(receiver, (ast.Attribute, ast.Subscript))
+                and self.info.layer in CORE_LAYERS
+            ):
+                self._record(
+                    WRITES_SIM_STATE, node,
+                    f"mutates '{spelled}' in place",
+                )
+
+    # -- set iteration -------------------------------------------------------
+
+    def _on_set_iteration(self) -> None:
+        sites = [
+            (node, iterable)
+            for node, iterable in _iteration_sites_local(self.body)
+        ]
+        if not sites:
+            return
+        set_locals = _known_set_names_local(self.body)
+        for node, iterable in sites:
+            if _is_set_expr(iterable):
+                self._record(
+                    UNORDERED_ITER, iterable,
+                    "iterates a set expression (unstable order)",
+                )
+            elif (
+                isinstance(iterable, ast.Name)
+                and iterable.id in set_locals
+            ):
+                self._record(
+                    UNORDERED_ITER, iterable,
+                    f"iterates set-valued local '{iterable.id}'",
+                )
+
+
+def _iteration_sites_local(
+    body: List[ast.AST],
+) -> Iterator[Tuple[ast.AST, ast.expr]]:
+    for node in _local_walk(body):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node, node.iter
+        elif isinstance(
+            node, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)
+        ):
+            for generator in node.generators:
+                yield node, generator.iter
+
+
+def _known_set_names_local(body: List[ast.AST]) -> Set[str]:
+    good: Set[str] = set()
+    bad: Set[str] = set()
+    for node in _local_walk(body):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if _is_set_expr(node.value):
+                    good.add(target.id)
+                else:
+                    bad.add(target.id)
+    return good - bad

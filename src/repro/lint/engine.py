@@ -17,6 +17,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.lint import closure, rules
 from repro.lint.base import FileContext, ProjectRule, Report, Rule
 from repro.lint.baseline import Baseline
+from repro.lint.effects.properties import (
+    EFFECT_RULE_DESCRIPTIONS,
+    EFFECT_RULE_IDS,
+)
 from repro.lint.findings import Finding
 from repro.lint.pragmas import PRAGMA_RULE, FilePragmas, parse_pragmas
 
@@ -41,28 +45,50 @@ ALL_RULES: List[Rule] = [
     closure.ObservatoryClosureRule(),
 ]
 
-#: Ids a pragma may name (rules plus the engine's pseudo-rules).
+#: Ids a pragma may name: rules, the engine's pseudo-rules, and the
+#: four effect properties (always known, so pragmas naming them parse
+#: even when ``--effects`` is off).
 KNOWN_RULE_IDS = (
-    {rule.id for rule in ALL_RULES} | {PRAGMA_RULE, PARSE_RULE}
+    {rule.id for rule in ALL_RULES}
+    | {PRAGMA_RULE, PARSE_RULE}
+    | set(EFFECT_RULE_IDS)
 )
 
 
 def rule_catalog() -> List[Dict[str, str]]:
     """``[{"id", "description"}, ...]`` for ``--list-rules`` and docs."""
     catalog = [
-        {"id": rule.id, "description": rule.description}
+        {
+            "id": rule.id,
+            "description": rule.description,
+            "kind": (
+                "project" if isinstance(rule, ProjectRule) else "file"
+            ),
+            "severity": rule.severity,
+        }
         for rule in ALL_RULES
     ]
+    for rule_id in EFFECT_RULE_IDS:
+        catalog.append({
+            "id": rule_id,
+            "description": EFFECT_RULE_DESCRIPTIONS[rule_id],
+            "kind": "effect",
+            "severity": "error",
+        })
     catalog.append({
         "id": PRAGMA_RULE,
         "description": (
             "every repro-lint pragma names known rules and carries a "
             "'-- justification'"
         ),
+        "kind": "pseudo",
+        "severity": "error",
     })
     catalog.append({
         "id": PARSE_RULE,
         "description": "every scanned file parses as Python",
+        "kind": "pseudo",
+        "severity": "error",
     })
     return catalog
 
@@ -80,12 +106,25 @@ class LintResult:
     files_scanned: int = 0
 
     @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warn"]
+
+    @property
     def ok(self) -> bool:
-        return not self.findings
+        """No error findings (warns fail only under ``--fail-on-warn``)."""
+        return not self.errors
 
     def to_record(self) -> Dict[str, object]:
         return {
             "ok": self.ok,
+            "counts": {
+                "error": len(self.errors),
+                "warn": len(self.warnings),
+            },
             "files_scanned": self.files_scanned,
             "findings": [f.to_record() for f in self.findings],
             "baselined": [f.to_record() for f in self.baselined],
@@ -105,7 +144,7 @@ class LintEngine:
         root: Path,
         lint_rules: Optional[Sequence[Rule]] = None,
         baseline: Optional[Baseline] = None,
-    ):
+    ) -> None:
         #: Directory of the package to scan (e.g. ``.../src/repro``).
         self.root = Path(root)
         self.rules: List[Rule] = list(
@@ -177,6 +216,7 @@ class LintEngine:
                         line=getattr(node, "lineno", 1),
                         col=getattr(node, "col_offset", 0),
                         message=message,
+                        severity=current_rule.severity,
                     )
                 )
             return report
@@ -197,6 +237,7 @@ class LintEngine:
                             line=getattr(node, "lineno", 1),
                             col=getattr(node, "col_offset", 0),
                             message=message,
+                            severity=rule.severity,
                         )
                     )
 

@@ -27,6 +27,10 @@ class Finding:
     col: int
     #: Human-readable description of the violation.
     message: str
+    #: ``error`` findings fail the run; ``warn`` findings fail it only
+    #: under ``--fail-on-warn``.  Excluded from the fingerprint so a
+    #: severity recalibration does not invalidate baselines.
+    severity: str = "error"
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
@@ -43,9 +47,13 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
 
     def render(self, prefix: str = "") -> str:
         """One ``file:line:col: [rule] message`` diagnostic line."""
         location = f"{prefix}{self.path}" if prefix else self.path
-        return f"{location}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        tag = self.rule if self.severity == "error" else (
+            f"{self.severity}:{self.rule}"
+        )
+        return f"{location}:{self.line}:{self.col}: [{tag}] {self.message}"

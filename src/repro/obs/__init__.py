@@ -26,7 +26,9 @@ which imports this package.  The CLI imports the session directly.
 
 from __future__ import annotations
 
-from typing import List, Optional
+# repro-lint: disable-file=effect-race -- _GLOBAL is per-process recorder state: a worker inherits a private copy at fork and reports via return values, never through the parent's module
+
+from typing import Any, Dict, List, Optional
 
 from repro.obs.events import (
     EventTracer,
@@ -64,13 +66,13 @@ class Observability:
 
     def __init__(
         self,
-        kernel,
+        kernel: Any,
         trace: bool = False,
         profile: bool = True,
         sample_every_us: Optional[float] = None,
         trace_config: Optional[TraceConfig] = None,
         label: Optional[str] = None,
-    ):
+    ) -> None:
         machine = kernel.machine
         self.kernel = kernel
         self.machine = machine
@@ -106,10 +108,10 @@ class Observability:
     def cycles(self) -> int:
         return self.machine.clock.total
 
-    def counters(self):
+    def counters(self) -> Any:
         return self.machine.monitor.snapshot()
 
-    def attribution(self):
+    def attribution(self) -> Dict[str, int]:
         if self.profiler is None:
             return {}
         return self.profiler.attribution()
@@ -118,7 +120,7 @@ class Observability:
 class _GlobalObs:
     """Process-wide recorder state, active between enable/disable."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.active = False
         self.trace = False
         self.profile = True
@@ -166,7 +168,7 @@ def drain_global_observed() -> List[Observability]:
 
 
 def attach_observability(
-    kernel,
+    kernel: Any,
     trace: Optional[bool] = None,
     profile: Optional[bool] = None,
     sample_every_us: Optional[float] = None,

@@ -25,7 +25,7 @@ AST and checks that every ``PATH_CATEGORIES`` path category and every
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.events import PH_COMPLETE, PH_COUNTER, PH_INSTANT
 from repro.obs.profiler import DISPLAY_ORDER, merge_attributions
@@ -235,7 +235,7 @@ def _merged_counts(count_lists: List[List[int]]) -> List[int]:
     return merged
 
 
-def _attribution_block(observed) -> Optional[Dict[str, object]]:
+def _attribution_block(observed: Iterable[Any]) -> Optional[Dict[str, object]]:
     attribution = merge_attributions(
         obs.profiler.attribution()
         for obs in observed
@@ -265,7 +265,7 @@ def _instant_key(name: str) -> str:
     return name
 
 
-def _trace_blocks(tracers) -> Dict[str, Dict[str, object]]:
+def _trace_blocks(tracers: Iterable[Any]) -> Dict[str, Dict[str, object]]:
     """The span/event/category/reload sections from the trace rings."""
     durations: Dict[str, List[int]] = {}
     instants: Dict[str, int] = {}
@@ -318,7 +318,7 @@ def _trace_blocks(tracers) -> Dict[str, Dict[str, object]]:
     return out
 
 
-def _timeline_block(samplers) -> Optional[Dict[str, object]]:
+def _timeline_block(samplers: Iterable[Any]) -> Optional[Dict[str, object]]:
     """Occupancy/zombie trajectory statistics from the sampled series."""
     sampled = [s for s in samplers if s.samples]
     if not sampled:
@@ -348,7 +348,7 @@ def _timeline_block(samplers) -> Optional[Dict[str, object]]:
     }
 
 
-def derive(observed) -> Dict[str, object]:
+def derive(observed: Sequence[Any]) -> Dict[str, object]:
     """The full derived block for a drained list of recorder handles.
 
     Sections degrade gracefully with the recorder configuration: a

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs import diff as obs_diff
 
@@ -55,7 +55,7 @@ DEFAULT_POLICY: Dict[str, object] = {
 }
 
 
-def load_policy(path=None) -> Dict[str, object]:
+def load_policy(path: Optional[Any] = None) -> Dict[str, object]:
     """The committed tolerance policy, or the built-in default."""
     if path is None:
         return DEFAULT_POLICY
@@ -66,7 +66,7 @@ def load_policy(path=None) -> Dict[str, object]:
     return policy
 
 
-def validate_policy(policy) -> List[str]:
+def validate_policy(policy: Any) -> List[str]:
     """Structural problems with a policy document (empty = valid)."""
     if not isinstance(policy, dict):
         return ["policy must be an object"]
@@ -216,7 +216,7 @@ def compare_docs(
     return Verdict(findings=findings, checked=checked, ignored=ignored)
 
 
-def check_leaf(key: str, before, after,
+def check_leaf(key: str, before: Any, after: Any,
                policy: Dict[str, object]) -> Optional[Finding]:
     """Apply the policy's rule for one leaf; None when inside tolerance.
 
@@ -232,7 +232,8 @@ def check_leaf(key: str, before, after,
     return _exact_check(key, before, after, rule.get("severity", "fail"))
 
 
-def _exact_check(key, before, after, severity) -> Optional[Finding]:
+def _exact_check(key: str, before: Any, after: Any,
+                 severity: str) -> Optional[Finding]:
     if before == after and isinstance(before, bool) == isinstance(after, bool):
         return None
     return Finding(
@@ -241,7 +242,8 @@ def _exact_check(key, before, after, severity) -> Optional[Finding]:
     )
 
 
-def _ratio_check(key, before, after, rule) -> Optional[Finding]:
+def _ratio_check(key: str, before: Any, after: Any,
+                 rule: Dict[str, object]) -> Optional[Finding]:
     severity = rule.get("severity", "fail")
     max_ratio = float(rule["max_ratio"])
     numbers = all(

@@ -13,7 +13,7 @@ registry and therefore stays out of ``repro.obs.__init__``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.spec import ExperimentSpec
 from repro.obs import analytics
@@ -22,7 +22,7 @@ from repro.obs import analytics
 _INFO_KEYS = ("source", "schema_version")
 
 
-def flatten(value, prefix: str = "") -> Dict[str, object]:
+def flatten(value: Any, prefix: str = "") -> Dict[str, object]:
     """Dotted-path -> scalar leaves of a JSON-shaped structure.
 
     Lists flatten by index, so series keep positional identity; the
@@ -43,7 +43,7 @@ def flatten(value, prefix: str = "") -> Dict[str, object]:
     return out
 
 
-def _is_number(value) -> bool:
+def _is_number(value: Any) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
@@ -121,7 +121,7 @@ def diff_docs(a: Dict, b: Dict) -> Dict[str, Dict]:
 
 
 def variant_observations(
-    spec: ExperimentSpec, observed
+    spec: ExperimentSpec, observed: Sequence[Any]
 ) -> Tuple[Dict[str, List], List]:
     """Group drained recorder handles under the spec's variant labels.
 
@@ -146,7 +146,7 @@ def variant_observations(
 
 
 def variant_derived(
-    spec: ExperimentSpec, observed
+    spec: ExperimentSpec, observed: Sequence[Any]
 ) -> Tuple[Dict[str, Dict], int]:
     """Per-variant derived blocks (labels with no handles are dropped)."""
     groups, unmatched = variant_observations(spec, observed)
@@ -160,7 +160,7 @@ def variant_derived(
 
 def diff_variant_labels(
     spec: ExperimentSpec,
-    observed,
+    observed: Sequence[Any],
     label_a: str,
     label_b: str,
 ) -> Dict:
@@ -222,7 +222,7 @@ def render_diff(
     return "\n".join(lines)
 
 
-def _fmt(value) -> str:
+def _fmt(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:g}"
     if isinstance(value, int) and not isinstance(value, bool):

@@ -22,7 +22,7 @@ array), so any captured run opens directly in Perfetto or
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional
 
 #: The closed registry of every event name this repo may publish —
 #: tracer spans/instants/counter tracks and hardware-monitor counters.
@@ -128,7 +128,7 @@ class TraceConfig:
         self,
         capacity: int = DEFAULT_CAPACITY,
         monitor_events: Optional[FrozenSet[str]] = None,
-    ):
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"trace ring capacity must be positive: {capacity}")
         self.capacity = capacity
@@ -147,8 +147,9 @@ class EventTracer:
     fired (0 = boot / idle / no task).
     """
 
-    def __init__(self, machine, kernel=None, label: str = "machine",
-                 config: Optional[TraceConfig] = None):
+    def __init__(self, machine: Any, kernel: Any = None,
+                 label: str = "machine",
+                 config: Optional[TraceConfig] = None) -> None:
         self.machine = machine
         self.kernel = kernel
         self.label = label
@@ -233,7 +234,8 @@ class EventTracer:
         return out
 
 
-def chrome_trace(tracers, other_data: Optional[Dict] = None) -> Dict:
+def chrome_trace(tracers: Iterable[Any],
+                 other_data: Optional[Dict] = None) -> Dict:
     """Merge tracers into one Chrome trace document (one pid each)."""
     events: List[Dict] = []
     for pid, tracer in enumerate(tracers):

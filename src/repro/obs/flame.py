@@ -26,7 +26,7 @@ against ``PATH_CATEGORIES`` of ``obs/profiler.py``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 #: Span event name -> path category (the profiler's taxonomy).  Keys
 #: must be registered span names in EVENT_NAMES; values must be
@@ -53,7 +53,7 @@ class Span:
     __slots__ = ("name", "category", "start", "end", "tid", "children")
 
     def __init__(self, name: str, category: str, start: int, end: int,
-                 tid: int):
+                 tid: int) -> None:
         self.name = name
         self.category = category
         self.start = start
@@ -75,7 +75,7 @@ class Span:
         return f"{self.name} [{category}]"
 
 
-def span_forest(tracer) -> Dict[int, List[Span]]:
+def span_forest(tracer: Any) -> Dict[int, List[Span]]:
     """Rebuild the span nesting from one tracer's ring, per task lane.
 
     Spans nest when one fully contains the other; spans that merely
@@ -119,7 +119,7 @@ def _lane_label(label: str, tid: int) -> str:
     return f"{label}/task{tid}"
 
 
-def folded(tracers) -> List[str]:
+def folded(tracers: Iterable[Any]) -> List[str]:
     """Collapsed-stack lines for a list of tracers, sorted and merged.
 
     Each line is ``lane;frame;...;frame self_cycles``; identical stacks
@@ -144,7 +144,8 @@ def folded(tracers) -> List[str]:
     return [f"{stack} {weight}" for stack, weight in sorted(weights.items())]
 
 
-def speedscope(tracers, name: str = "repro trace") -> Dict:
+def speedscope(tracers: Iterable[Any],
+               name: str = "repro trace") -> Dict:
     """The span forest as a speedscope evented-profile document.
 
     One profile per machine/task lane; ``at`` values are simulated
@@ -261,7 +262,7 @@ def validate_speedscope(doc: Dict) -> Dict[str, int]:
     return counts
 
 
-def critical_path(tracers, limit: int = 12) -> List[Dict[str, object]]:
+def critical_path(tracers: Iterable[Any], limit: int = 12) -> List[Dict[str, object]]:
     """The heaviest root-to-leaf chain across the whole forest.
 
     "Heaviest" is by total cycles at each level — the chain a

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import pathlib
 import re
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs import metrics
 
@@ -123,7 +123,7 @@ def _verdict_summary(verdict: Optional[Dict]) -> Optional[Dict]:
     }
 
 
-def validate_history_entry(entry) -> Dict[str, int]:
+def validate_history_entry(entry: Any) -> Dict[str, int]:
     """Check one ledger entry is well-formed.
 
     The ledger counterpart of
@@ -215,7 +215,7 @@ def deterministic_view(entry: Dict) -> Dict:
     return {key: entry[key] for key in sorted(entry) if key != "wall"}
 
 
-def append_entry(path, entry: Dict) -> int:
+def append_entry(path: Any, entry: Dict) -> int:
     """Validate and append one entry line; returns the new entry count.
 
     Append-only by construction: existing lines are never rewritten,
@@ -229,7 +229,7 @@ def append_entry(path, entry: Dict) -> int:
     return len(existing) + 1
 
 
-def load_history(path) -> List[Dict]:
+def load_history(path: Any) -> List[Dict]:
     """Every entry of a ledger file, validated, in append order."""
     path = pathlib.Path(path)
     entries: List[Dict] = []

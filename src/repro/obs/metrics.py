@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import pathlib
 import re
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs import analytics
 
@@ -32,7 +32,7 @@ from repro.obs import analytics
 BENCH_SCHEMA = 4
 
 
-def json_safe(value):
+def json_safe(value: Any) -> Any:
     """Coerce a measured-values structure into JSON-serializable form."""
     if isinstance(value, dict):
         return {str(key): json_safe(item) for key, item in value.items()}
@@ -48,7 +48,8 @@ def json_safe(value):
     return str(value)
 
 
-def experiment_record(result, observed=(), spec=None) -> Dict:
+def experiment_record(result: Any, observed: Sequence[Any] = (),
+                      spec: Any = None) -> Dict:
     """One structured record for an :class:`ExperimentResult`.
 
     The *only* bench-record builder: the benchmark suite (live
@@ -112,7 +113,7 @@ def experiment_record(result, observed=(), spec=None) -> Dict:
     return record
 
 
-def dumps(record) -> str:
+def dumps(record: Any) -> str:
     """The one true serialization: sorted keys, stable indentation."""
     return json.dumps(record, indent=2, sort_keys=True) + "\n"
 
@@ -122,7 +123,7 @@ def dumps(record) -> str:
 _RECORD_NAME = re.compile(r"^E(\d+)\.json$")
 
 
-def collect_bench_records(reports_dir) -> List[Dict]:
+def collect_bench_records(reports_dir: Any) -> List[Dict]:
     """Load every per-experiment JSON record under ``reports_dir``."""
     reports_dir = pathlib.Path(reports_dir)
     found = []
@@ -179,7 +180,7 @@ RECORD_REQUIRED = ("id", "title", "machines", "total_cycles",
 _RECORD_ID = re.compile(r"^E\d+$")
 
 
-def validate_bench_doc(doc) -> Dict[str, int]:
+def validate_bench_doc(doc: Any) -> Dict[str, int]:
     """Check a document is a well-formed BENCH_results.json.
 
     The bench-doc counterpart of
@@ -271,7 +272,8 @@ def validate_bench_doc(doc) -> Dict[str, int]:
 
 
 def write_bench_results(
-    reports_dir, out_path, timings: Optional[Dict[str, float]] = None
+    reports_dir: Any, out_path: Any,
+    timings: Optional[Dict[str, float]] = None
 ) -> Dict:
     """Aggregate per-experiment records into one BENCH_results.json."""
     doc = bench_doc(collect_bench_records(reports_dir), timings=timings)
@@ -280,7 +282,7 @@ def write_bench_results(
     return doc
 
 
-def load_bench_doc(path) -> Dict:
+def load_bench_doc(path: Any) -> Dict:
     """Read and validate a bench artifact (the compare/report input)."""
     try:
         doc = json.loads(pathlib.Path(path).read_text())
@@ -293,7 +295,7 @@ def load_bench_doc(path) -> Dict:
     return doc
 
 
-def write_experiment_record(record: Dict, reports_dir) -> pathlib.Path:
+def write_experiment_record(record: Dict, reports_dir: Any) -> pathlib.Path:
     """Save one experiment record as ``reports_dir/<id>.json``."""
     reports_dir = pathlib.Path(reports_dir)
     path = reports_dir / f"{record['id']}.json"

@@ -10,7 +10,7 @@ into the paper's path taxonomy and renders a breakdown that sums
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Iterable, Optional
 
 #: Raw ledger category -> path category.  Anything unlisted lands in
 #: "other", so the attribution is total by construction.
@@ -62,7 +62,7 @@ class AttributionError(AssertionError):
 class CycleProfiler:
     """Folds a ledger's raw categories into path-category attribution."""
 
-    def __init__(self, clock):
+    def __init__(self, clock: Any) -> None:
         self.clock = clock
 
     @property
@@ -87,7 +87,7 @@ class CycleProfiler:
         return self.clock.breakdown()
 
 
-def merge_attributions(attributions) -> Dict[str, int]:
+def merge_attributions(attributions: Iterable[Dict[str, int]]) -> Dict[str, int]:
     """Sum per-machine attributions into one experiment-level breakdown."""
     out: Dict[str, int] = {}
     for attribution in attributions:

@@ -19,7 +19,7 @@ hash-table histograms.  The experiments behind the paper's Tables 1–3
 from __future__ import annotations
 
 import html
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs.profiler import DISPLAY_ORDER
 
@@ -63,11 +63,11 @@ svg { background: #fafafc; border: 1px solid #eee; }
 """
 
 
-def _esc(value) -> str:
+def _esc(value: Any) -> str:
     return html.escape(str(value), quote=True)
 
 
-def _fmt(value) -> str:
+def _fmt(value: Any) -> str:
     """Deterministic cell formatting for measured/derived values."""
     if isinstance(value, bool):
         return "yes" if value else "no"
@@ -181,7 +181,7 @@ def _svg_sparkline(values: List, width: int = 150, height: int = 28,
     span = (high - low) or 1
     step = (width - 8) / (len(values) - 1)
 
-    def point(index: int, value) -> str:
+    def point(index: int, value: Any) -> str:
         x = 4 + index * step
         y = height - 4 - ((value - low) / span) * (height - 8)
         return f"{x:.2f},{y:.2f}"

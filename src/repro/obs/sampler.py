@@ -15,7 +15,7 @@ runs stay bit-identical to unsampled ones.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 #: Monitor counters republished as Chrome counter tracks (so Perfetto
 #: plots them as curves next to the occupancy track).
@@ -31,8 +31,9 @@ CURVE_COUNTERS = (
 class TimeSeriesSampler:
     """Snapshots monitor + HTAB state on a fixed simulated-time grid."""
 
-    def __init__(self, kernel, every_us: float,
-                 tracer=None, max_samples: int = 100_000):
+    def __init__(self, kernel: Any, every_us: float,
+                 tracer: Any = None,
+                 max_samples: int = 100_000) -> None:
         if every_us <= 0:
             raise ValueError(f"sample interval must be positive: {every_us}")
         self.kernel = kernel
@@ -109,7 +110,8 @@ class TimeSeriesSampler:
         return [dict(sample) for sample in self.samples]
 
 
-def attach_clock_observer(clock, sampler: Optional[TimeSeriesSampler]) -> None:
+def attach_clock_observer(clock: Any,
+                          sampler: Optional[TimeSeriesSampler]) -> None:
     """Wire a sampler into a ledger (or clear the hook with ``None``)."""
     # repro-lint: disable=zero-perturbation -- sanctioned attach point for
     # the ledger's read-only observer slot.

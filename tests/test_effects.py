@@ -1,0 +1,572 @@
+"""Tests for ``repro.lint.effects`` — the interprocedural analyzer.
+
+Four tiers:
+
+* fixture mini-packages — for each of the four properties, a violating
+  tree caught at the right site and a clean tree that passes, plus
+  fixtures exercising the call-graph mechanics the properties stand on
+  (transitive edges, pragma non-propagation, layer exemptions);
+* mutation tests — seed one violation into a *copy* of the real
+  package and assert exactly that property fires (proving each gate is
+  live, not vacuous);
+* artifact tests — the ``--effects-json`` document and ``--why``
+  chains are well-formed and non-vacuous on the shipped tree;
+* self-clean + CLI — the shipped package passes ``--effects``, which
+  is what CI gates, and the new flags behave.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, LintEngine, KNOWN_RULE_IDS, rule_catalog
+from repro.lint.cli import default_root, find_baseline
+from repro.lint.effects import EFFECT_RULE_IDS, EffectRuleSuite
+from repro.lint.effects.explain import effects_json, explain_why
+
+
+def build_tree(tmp_path, files):
+    """Write ``{rel: source}`` under a package dir named ``repro``."""
+    root = tmp_path / "repro"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def run_effects(tmp_path, files):
+    """Run only the four effect rules over a fixture tree."""
+    suite = EffectRuleSuite(frozenset(KNOWN_RULE_IDS))
+    root = build_tree(tmp_path, files)
+    result = LintEngine(root, lint_rules=suite.rules()).run()
+    return result, suite
+
+
+def rules_fired(result):
+    return {f.rule for f in result.findings}
+
+
+# -- property 1: zero-perturbation closure -----------------------------------
+
+
+#: A hook pair: the core calls ``tracer.publish`` (a perturbation
+#: root), which reaches ``_poke`` two edges away.
+_HOOKED_TRACER = {
+    "hw/machine.py": """\
+        class MachineModel:
+            def step(self):
+                self.tracer.publish(self)
+    """,
+    "obs/rec.py": """\
+        class EventTracer:
+            def __init__(self):
+                self.ring = []
+
+            def publish(self, machine):
+                self.ring.append(machine.counter)
+                self._poke(machine)
+
+            def _poke(self, machine):
+                machine.counter = machine.counter + 1
+    """,
+}
+
+
+class TestPerturbationClosure:
+    def test_transitive_foreign_write_flagged(self, tmp_path):
+        result, _ = run_effects(tmp_path, _HOOKED_TRACER)
+        (finding,) = result.findings
+        assert finding.rule == "effect-perturbation"
+        # Reported at the offending store, not the hook.
+        assert finding.path == "obs/rec.py"
+        assert "machine.counter" in finding.message
+
+    def test_chain_names_the_root(self, tmp_path):
+        result, _ = run_effects(tmp_path, _HOOKED_TRACER)
+        (finding,) = result.findings
+        assert "publish" in finding.message  # the root of the chain
+
+    def test_read_only_observer_clean(self, tmp_path):
+        files = dict(_HOOKED_TRACER)
+        files["obs/rec.py"] = """\
+            class EventTracer:
+                def __init__(self):
+                    self.ring = []
+
+                def publish(self, machine):
+                    self.ring.append(machine.counter)
+                    self._poke(machine)
+
+                def _poke(self, machine):
+                    self.ring.append(len(self.ring))
+        """
+        result, _ = run_effects(tmp_path, files)
+        assert result.findings == []
+
+    def test_unhooked_writer_not_a_root(self, tmp_path):
+        """The same writer with no core-side call site stays silent."""
+        files = {"obs/rec.py": _HOOKED_TRACER["obs/rec.py"]}
+        result, _ = run_effects(tmp_path, files)
+        assert result.findings == []
+
+    def test_observer_callback_is_a_root(self, tmp_path):
+        """``<...>.observer = fn`` installs ``fn`` as an entry point."""
+        result, _ = run_effects(tmp_path, {
+            "hw/clock.py": """\
+                from repro.obs.hooks import on_cycles
+
+                class CycleLedger:
+                    def install(self):
+                        self.observer = on_cycles
+            """,
+            "obs/hooks.py": """\
+                def on_cycles(machine, amount):
+                    machine.poked = amount
+            """,
+        })
+        (finding,) = result.findings
+        assert finding.rule == "effect-perturbation"
+        assert finding.path == "obs/hooks.py"
+
+
+# -- property 2: cycle-ledger soundness --------------------------------------
+
+
+class TestLedgerSoundness:
+    def test_minting_outside_clock_flagged(self, tmp_path):
+        result, _ = run_effects(tmp_path, {
+            "kernel/sched.py": """\
+                def cheat(clock):
+                    clock.total += 64
+            """,
+        })
+        (finding,) = result.findings
+        assert finding.rule == "effect-ledger"
+        assert (finding.path, finding.line) == ("kernel/sched.py", 2)
+
+    def test_fires_even_when_unreachable(self, tmp_path):
+        """Ledger soundness is global: no caller needed to report."""
+        result, _ = run_effects(tmp_path, {
+            "sim/dead.py": """\
+                def _never_called(ledger):
+                    ledger._by_category = {}
+            """,
+        })
+        assert rules_fired(result) == {"effect-ledger"}
+
+    def test_ledger_home_exempt(self, tmp_path):
+        result, _ = run_effects(tmp_path, {
+            "hw/clock.py": """\
+                class CycleLedger:
+                    def add(self, amount, category):
+                        self.total += amount
+            """,
+        })
+        assert result.findings == []
+
+    def test_charging_through_add_clean(self, tmp_path):
+        """Charges go through the one sanctioned entry point."""
+        result, _ = run_effects(tmp_path, {
+            "kernel/sched.py": """\
+                def charge(clock):
+                    clock.add(64, "dispatch")
+            """,
+        })
+        assert result.findings == []
+
+
+# -- property 3: determinism closure -----------------------------------------
+
+
+class TestDeterminismClosure:
+    def test_transitive_rng_flagged(self, tmp_path):
+        result, _ = run_effects(tmp_path, {
+            "analysis/engine.py": """\
+                from repro.analysis.helpers import jitter
+
+                def execute(spec):
+                    return jitter()
+            """,
+            "analysis/helpers.py": """\
+                import random
+
+                def jitter():
+                    return random.random()
+            """,
+        })
+        (finding,) = result.findings
+        assert finding.rule == "effect-determinism"
+        # Reported at the RNG call, one module away from the root.
+        assert (finding.path, finding.line) == ("analysis/helpers.py", 4)
+
+    def test_wall_clock_flagged(self, tmp_path):
+        result, _ = run_effects(tmp_path, {
+            "analysis/engine.py": """\
+                import time
+
+                def execute(spec):
+                    return time.monotonic()
+            """,
+        })
+        (finding,) = result.findings
+        assert finding.rule == "effect-determinism"
+
+    def test_seeded_rng_clean(self, tmp_path):
+        result, _ = run_effects(tmp_path, {
+            "analysis/engine.py": """\
+                import random
+
+                def execute(spec):
+                    rng = random.Random(7)
+                    return rng.random()
+            """,
+        })
+        assert result.findings == []
+
+    def test_obs_layer_exempt(self, tmp_path):
+        """Recorders observe from outside: their wall-clock use is
+        reporting only, even when the engine reaches them."""
+        result, _ = run_effects(tmp_path, {
+            "analysis/engine.py": """\
+                from repro.obs.stamp import wall_stamp
+
+                def execute(spec):
+                    return wall_stamp()
+            """,
+            "obs/stamp.py": """\
+                import time
+
+                def wall_stamp():
+                    return time.time()
+            """,
+        })
+        assert result.findings == []
+
+    def test_pragma_site_does_not_propagate(self, tmp_path):
+        """A pragma naming the matching per-file rule kills the site
+        before the fixpoint: callers stay clean."""
+        result, _ = run_effects(tmp_path, {
+            "analysis/engine.py": """\
+                from repro.analysis.helpers import jitter
+
+                def execute(spec):
+                    return jitter()
+            """,
+            "analysis/helpers.py": """\
+                import random
+
+                def jitter():
+                    # repro-lint: disable=unseeded-random -- fixture
+                    return random.random()
+            """,
+        })
+        assert result.findings == []
+
+
+# -- property 4: worker race freedom -----------------------------------------
+
+
+class TestRaceFreedom:
+    def test_pool_worker_module_write_flagged(self, tmp_path):
+        result, _ = run_effects(tmp_path, {
+            "sim/runner.py": """\
+                from multiprocessing import Pool
+
+                _CACHE = []
+
+                def _work(job):
+                    _CACHE.append(job)
+                    return job
+
+                def run_all(jobs):
+                    with Pool() as pool:
+                        return pool.map(_work, jobs)
+            """,
+        })
+        (finding,) = result.findings
+        assert finding.rule == "effect-race"
+        assert (finding.path, finding.line) == ("sim/runner.py", 6)
+
+    def test_process_target_flagged(self, tmp_path):
+        result, _ = run_effects(tmp_path, {
+            "sim/runner.py": """\
+                from multiprocessing import Process
+
+                _SEEN = {}
+
+                def _work(job):
+                    _SEEN[job] = True
+
+                def launch(job):
+                    return Process(target=_work, args=(job,))
+            """,
+        })
+        (finding,) = result.findings
+        assert finding.rule == "effect-race"
+
+    def test_pure_worker_clean(self, tmp_path):
+        result, _ = run_effects(tmp_path, {
+            "sim/runner.py": """\
+                from multiprocessing import Pool
+
+                def _work(job):
+                    return job * 2
+
+                def run_all(jobs):
+                    with Pool() as pool:
+                        return pool.map(_work, jobs)
+            """,
+        })
+        assert result.findings == []
+
+    def test_unspawned_writer_clean(self, tmp_path):
+        """Module-state writes are fine in functions never forked."""
+        result, _ = run_effects(tmp_path, {
+            "sim/runner.py": """\
+                _CACHE = []
+
+                def remember(job):
+                    _CACHE.append(job)
+            """,
+        })
+        assert result.findings == []
+
+
+# -- mutation tests: each gate is live on the real package -------------------
+
+
+def mutated_package(tmp_path, mutate):
+    """Copy the installed package, apply ``mutate(root)``, return root."""
+    root = tmp_path / "repro"
+    shutil.copytree(default_root(), root,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    mutate(root)
+    return root
+
+
+def run_effects_on(root):
+    suite = EffectRuleSuite(frozenset(KNOWN_RULE_IDS))
+    return LintEngine(root, lint_rules=suite.rules()).run()
+
+
+class TestMutations:
+    def test_clean_copy_is_clean(self, tmp_path):
+        root = mutated_package(tmp_path, lambda _root: None)
+        assert run_effects_on(root).findings == []
+
+    def test_perturbing_hook_fires(self, tmp_path):
+        """A write-through-argument in a live tracer hook is caught."""
+        def mutate(root):
+            path = root / "obs/events.py"
+            source = path.read_text()
+            anchor = (
+                '"""Publish a point event at the current simulated '
+                'cycle."""'
+            )
+            assert anchor in source
+            path.write_text(source.replace(
+                anchor, anchor + "\n        args.owner = self", 1
+            ))
+
+        result = run_effects_on(mutated_package(tmp_path, mutate))
+        assert rules_fired(result) == {"effect-perturbation"}
+        assert any("args.owner" in f.message for f in result.findings)
+
+    def test_minting_cycles_fires(self, tmp_path):
+        def mutate(root):
+            path = root / "kernel/flush.py"
+            with path.open("a") as handle:
+                handle.write(
+                    "\n\ndef _mutation_mint(clock):\n"
+                    "    clock.total += 100\n"
+                )
+
+        result = run_effects_on(mutated_package(tmp_path, mutate))
+        assert rules_fired(result) == {"effect-ledger"}
+
+    def test_engine_rng_fires(self, tmp_path):
+        def mutate(root):
+            path = root / "analysis/engine.py"
+            with path.open("a") as handle:
+                handle.write(
+                    "\n\ndef _mutation_jitter():\n"
+                    "    import random\n"
+                    "    return random.random()\n"
+                )
+
+        result = run_effects_on(mutated_package(tmp_path, mutate))
+        assert rules_fired(result) == {"effect-determinism"}
+
+    def test_racing_worker_fires(self, tmp_path):
+        def mutate(root):
+            path = root / "analysis/engine.py"
+            source = path.read_text()
+            anchor = '"""Worker body: must be module-level so the pool'
+            assert anchor in source
+            index = source.index("\n", source.index(anchor))
+            source = (
+                source[:index]
+                + "\n    _MUTATION_CACHE[str(job)] = True"
+                + source[index:]
+            )
+            path.write_text(source + "\n_MUTATION_CACHE = {}\n")
+
+        result = run_effects_on(mutated_package(tmp_path, mutate))
+        assert rules_fired(result) == {"effect-race"}
+
+
+# -- artifacts: --effects-json and --why -------------------------------------
+
+
+@pytest.fixture(scope="module")
+def shipped_suite():
+    suite = EffectRuleSuite(frozenset(KNOWN_RULE_IDS))
+    result = LintEngine(default_root(), lint_rules=suite.rules()).run()
+    assert suite.analysis is not None and suite.roots is not None
+    return result, suite
+
+
+class TestArtifacts:
+    def test_effects_json_shape(self, shipped_suite):
+        _, suite = shipped_suite
+        doc = effects_json(suite.analysis, suite.roots)
+        assert set(doc) == {"functions", "roots", "totals"}
+        totals = doc["totals"]
+        assert totals["functions"] == len(doc["functions"])
+        assert totals["functions"] > 500
+        for qualname, entry in doc["functions"].items():
+            assert entry["rel"].endswith(".py")
+            assert set(entry["effects"]) >= set(entry["direct"])
+
+    def test_roots_are_non_vacuous(self, shipped_suite):
+        """The shipped tree has live hooks, engine entry points and a
+        forked worker — an empty root set would make the properties
+        vacuously true."""
+        _, suite = shipped_suite
+        roots = suite.roots
+        assert len(roots.perturbation) >= 5
+        assert len(roots.determinism) >= 3
+        assert any("_run_one_job" in q for q in roots.race)
+
+    def test_why_resolves_a_chain(self, shipped_suite):
+        _, suite = shipped_suite
+        out = explain_why(suite.analysis, suite.roots, "Tlb.lookup")
+        assert "Tlb.lookup" in out
+
+    def test_why_unknown_function(self, shipped_suite):
+        _, suite = shipped_suite
+        out = explain_why(
+            suite.analysis, suite.roots, "no_such_function_xyz"
+        )
+        assert "no function" in out.lower()
+
+
+# -- severity metadata (satellite: self-describing output) -------------------
+
+
+class TestSeverity:
+    def test_catalog_is_self_describing(self):
+        for entry in rule_catalog():
+            assert entry["severity"] in ("error", "warn")
+            assert entry["kind"] in ("file", "project", "effect", "pseudo")
+        by_id = {entry["id"]: entry for entry in rule_catalog()}
+        for rule_id in EFFECT_RULE_IDS:
+            assert by_id[rule_id]["kind"] == "effect"
+        assert by_id["geometry-literal"]["severity"] == "warn"
+
+    def test_warn_findings_do_not_fail(self, tmp_path):
+        root = build_tree(tmp_path, {
+            "kernel/a.py": """\
+                def page_index(ea):
+                    return (ea >> 12) & 0xFFFF
+            """,
+        })
+        result = LintEngine(root).run()
+        assert result.ok  # warn-only trees pass by default
+        assert result.warnings and not result.errors
+        record = result.to_record()
+        assert record["counts"]["error"] == 0
+        assert record["counts"]["warn"] == len(result.warnings)
+        assert all(
+            f["severity"] == "warn" for f in record["findings"]
+        )
+
+
+# -- self-clean and CLI ------------------------------------------------------
+
+
+def run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *argv],
+        capture_output=True, text=True,
+    )
+
+
+class TestSelfClean:
+    def test_repo_passes_effects(self):
+        """The acceptance gate: the shipped tree proves all four
+        properties with zero findings."""
+        suite = EffectRuleSuite(frozenset(KNOWN_RULE_IDS))
+        baseline = Baseline.load(find_baseline(default_root()))
+        engine = LintEngine(
+            default_root(), lint_rules=suite.rules(), baseline=baseline
+        )
+        result = engine.run()
+        assert result.findings == []
+        assert result.baselined == []
+
+
+class TestCli:
+    def test_effects_exit_zero(self):
+        proc = run_cli("--effects")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_effects_json_to_stdout(self):
+        proc = run_cli("--effects", "--effects-json", "-")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        doc = json.loads(proc.stdout[: proc.stdout.rindex("}") + 1])
+        assert doc["totals"]["functions"] > 500
+
+    def test_effects_json_to_file(self, tmp_path):
+        out = tmp_path / "effects.json"
+        proc = run_cli("--effects", "--effects-json", str(out))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        doc = json.loads(out.read_text())
+        assert set(doc) == {"functions", "roots", "totals"}
+
+    def test_why_prints_a_chain(self):
+        proc = run_cli("--effects", "--why", "Tlb.lookup")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "Tlb.lookup" in proc.stdout
+
+    def test_effect_finding_fails_run(self, tmp_path):
+        root = build_tree(tmp_path, {
+            "kernel/sched.py": """\
+                def cheat(clock):
+                    clock.total += 64
+            """,
+        })
+        proc = run_cli("--root", str(root), "--no-baseline", "--effects")
+        assert proc.returncode == 1
+        assert "[effect-ledger]" in proc.stdout
+
+    def test_fail_on_warn(self, tmp_path):
+        root = build_tree(tmp_path, {
+            "kernel/a.py": """\
+                def page_index(ea):
+                    return (ea >> 12) & 0xFFFF
+            """,
+        })
+        lenient = run_cli("--root", str(root), "--no-baseline")
+        assert lenient.returncode == 0, lenient.stdout + lenient.stderr
+        strict = run_cli(
+            "--root", str(root), "--no-baseline", "--fail-on-warn"
+        )
+        assert strict.returncode == 1
+        assert "warn" in strict.stdout
