@@ -1,0 +1,54 @@
+"""E17/E18/E19 — SMP extension: TLB-shootdown strategies at 2/4/8 CPUs.
+
+The paper defers SMP (§9 footnote); these experiments cross four
+shootdown strategies (broadcast, targeted, lazy deferral per
+arXiv 2401.15558, mmap-reuse flush skipping per arXiv 2409.10946)
+against fixed-affinity multiprogram mmap/munmap churn.  Expected
+shape: broadcast pays one IPI round per flush, targeted pays none
+(fixed affinity), lazy defers and drains at context switch, and
+mmap-reuse additionally skips munmap flushes by pooling the region.
+"""
+
+from conftest import run_spec
+
+
+def _assert_smp_shape(result):
+    rows = result.measured["rows"]
+    broadcast, targeted = rows["broadcast"], rows["targeted"]
+    lazy, reuse = rows["lazy"], rows["mmap_reuse"]
+    # Broadcast IPIs every remote on every flush; targeted never needs to.
+    assert broadcast["ipi_sent"] > 0
+    assert targeted["ipi_sent"] == 0
+    assert broadcast["shootdown_cycles"] > targeted["shootdown_cycles"]
+    # Lazy converts eager IPIs into deferred work drained at ctxsw.
+    assert lazy["ipi_sent"] <= broadcast["ipi_sent"]
+    assert lazy["shootdown_deferred"] > 0
+    assert lazy["shootdown_drained"] > 0
+    # Mmap-reuse pools the munmapped region and revives it flush-free.
+    assert reuse["reuse_pool_hit"] > 0
+    assert reuse["flush_skipped_reuse"] > 0
+    assert reuse["total_cycles"] < broadcast["total_cycles"]
+
+
+def test_shootdown_2_cpus(benchmark, record_report):
+    result = run_spec(benchmark, "E17")
+    record_report(result)
+    assert result.shape_holds
+    _assert_smp_shape(result)
+
+
+def test_shootdown_4_cpus(benchmark, record_report):
+    result = run_spec(benchmark, "E18")
+    record_report(result)
+    assert result.shape_holds
+    _assert_smp_shape(result)
+    assert result.measured["n_cpus"] == 4
+
+
+def test_shootdown_8_cpus(benchmark, record_report):
+    result = run_spec(benchmark, "E19")
+    record_report(result)
+    assert result.shape_holds
+    _assert_smp_shape(result)
+    # More remote CPUs -> more broadcast IPI traffic per flush.
+    assert result.measured["broadcast_ipis"] > 0

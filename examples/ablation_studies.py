@@ -11,12 +11,12 @@ Three studies the paper discusses but never ships:
 Run:  python examples/ablation_studies.py
 """
 
-from repro.analysis import experiments
+from repro.analysis import engine, specs
 
 
 def main():
     for experiment_id in ("E14", "E15", "E16"):
-        result = experiments.REGISTRY[experiment_id]()
+        result = engine.execute(specs.SPECS[experiment_id])
         print(result.report)
         print(f"  shape_holds: {result.shape_holds}")
         print()

@@ -10,16 +10,16 @@ This runs every LmBench point on twelve booted systems (~1-2 minutes).
 Run:  python examples/lmbench_comparison.py
 """
 
-from repro.analysis import experiments
+from repro.analysis import engine, specs
 
 
 def main():
-    for runner, header in (
-        (experiments.run_e5, "TABLE 1"),
-        (experiments.run_e6, "TABLE 2"),
-        (experiments.run_e11, "TABLE 3"),
+    for experiment_id, header in (
+        ("E5", "TABLE 1"),
+        ("E6", "TABLE 2"),
+        ("E11", "TABLE 3"),
     ):
-        result = runner()
+        result = engine.execute(specs.SPECS[experiment_id])
         print(f"===== {header}: {result.title} =====")
         print(result.report)
         print(f"  paper shape holds: {result.shape_holds}")

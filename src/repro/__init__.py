@@ -18,7 +18,7 @@ Quick start::
     print(sim.elapsed_us(), "us", sim.counters())
 
 See :mod:`repro.workloads.lmbench` for the paper's benchmark points and
-:mod:`repro.analysis.experiments` for the table/figure reproductions.
+:mod:`repro.analysis.specs` for the table/figure reproductions.
 """
 
 from repro.errors import (

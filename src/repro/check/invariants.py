@@ -38,31 +38,39 @@ def check_tlbs(kernel, shadow, record: Record) -> None:
     rot — and are deliberately not flagged.
     """
     owners = shadow.ownership()
-    for tlb in (kernel.machine.itlb, kernel.machine.dtlb):
-        for entry in tlb.live_entries():
-            owner = owners.get(entry.vsid)
-            if owner is None:
-                continue  # zombie entry: unreachable by construction
-            mm, segment = owner
-            pte, ea = _owner_pte(mm, segment, entry.page_index)
-            if pte is None:
-                record(
-                    "stale-tlb-entry",
-                    f"{tlb.name} vsid={entry.vsid:#x} ea={ea:#x} maps "
-                    f"pfn={entry.ppn} but the page table has no mapping",
-                )
-            elif pte.pfn != entry.ppn:
-                record(
-                    "stale-tlb-entry",
-                    f"{tlb.name} vsid={entry.vsid:#x} ea={ea:#x} maps "
-                    f"pfn={entry.ppn}, page table says pfn={pte.pfn}",
-                )
-            elif entry.writable and not pte.writable:
-                record(
-                    "tlb-writable-mismatch",
-                    f"{tlb.name} vsid={entry.vsid:#x} ea={ea:#x} is "
-                    "writable but the page table says read-only",
-                )
+    for cpu in kernel.machine.cpus:
+        pending = shadow.pending[cpu.index]
+        for tlb in (cpu.itlb, cpu.dtlb):
+            name = f"cpu{cpu.index} {tlb.name}"
+            for entry in tlb.live_entries():
+                owner = owners.get(entry.vsid)
+                if owner is None:
+                    continue  # zombie entry: unreachable by construction
+                if (entry.vsid, entry.page_index) in pending:
+                    # Known-stale, awaiting this CPU's deferred drain —
+                    # holding it is the lazy protocol working; *serving*
+                    # it is the shootdown-coherence violation.
+                    continue
+                mm, segment = owner
+                pte, ea = _owner_pte(mm, segment, entry.page_index)
+                if pte is None:
+                    record(
+                        "stale-tlb-entry",
+                        f"{name} vsid={entry.vsid:#x} ea={ea:#x} maps "
+                        f"pfn={entry.ppn} but the page table has no mapping",
+                    )
+                elif pte.pfn != entry.ppn:
+                    record(
+                        "stale-tlb-entry",
+                        f"{name} vsid={entry.vsid:#x} ea={ea:#x} maps "
+                        f"pfn={entry.ppn}, page table says pfn={pte.pfn}",
+                    )
+                elif entry.writable and not pte.writable:
+                    record(
+                        "tlb-writable-mismatch",
+                        f"{name} vsid={entry.vsid:#x} ea={ea:#x} is "
+                        "writable but the page table says read-only",
+                    )
 
 
 def check_htab(kernel, shadow, record: Record) -> None:
@@ -98,25 +106,25 @@ def check_htab(kernel, shadow, record: Record) -> None:
 
 
 def check_segments(kernel, record: Record) -> None:
-    """Segment registers must carry the current context's VSIDs.
+    """Every CPU's segment registers carry its current context's VSIDs.
 
-    With no current task only the kernel segments are checked — Linux
-    leaves the previous task's user VSIDs loaded while in kernel mode,
-    which is harmless because nothing uses user addresses then.
+    With no current task on a CPU only its kernel segments are checked —
+    Linux leaves the previous task's user VSIDs loaded while in kernel
+    mode, which is harmless because nothing uses user addresses then.
     """
-    registers = kernel.machine.segments.snapshot()
-    task = kernel.current_task
-    if task is not None:
-        expected = task.mm.segment_vsids()
-    else:
-        expected = list(registers[:12]) + kernel_vsids()
-    for index, (got, want) in enumerate(zip(registers, expected)):
-        if got != want:
-            record(
-                "segment-mismatch",
-                f"segment register {index} holds vsid={got:#x}, "
-                f"expected {want:#x}",
-            )
+    for cpu_index, task in enumerate(kernel._current_tasks):
+        registers = kernel.machine.cpus[cpu_index].segments.snapshot()
+        if task is not None:
+            expected = task.mm.segment_vsids()
+        else:
+            expected = list(registers[:12]) + kernel_vsids()
+        for index, (got, want) in enumerate(zip(registers, expected)):
+            if got != want:
+                record(
+                    "segment-mismatch",
+                    f"cpu{cpu_index} segment register {index} holds "
+                    f"vsid={got:#x}, expected {want:#x}",
+                )
 
 
 def check_precleared(kernel, shadow, record: Record) -> None:
@@ -207,6 +215,43 @@ def check_allocator(kernel, record: Record) -> None:
             )
 
 
+def check_shootdown(kernel, shadow, record: Record) -> None:
+    """The deferred shootdown queues are safe and soundly mirrored.
+
+    Three clauses: a queued VSID must not be loaded in the target CPU's
+    segment registers (else deferral was unsafe), must never be a kernel
+    VSID (kernel flushes are always broadcast eagerly), and the engine's
+    queues must agree key-for-key with the shadow's pending sets.
+    """
+    protected = set(kernel_vsids())
+    for cpu_index, queue in enumerate(kernel.shootdown.deferred):
+        keys = set(queue)
+        segments = set(
+            kernel.machine.cpus[cpu_index].segments.snapshot()
+        )
+        for vsid, page_index in sorted(keys):
+            if vsid in protected:
+                record(
+                    "shootdown-kernel-vsid-deferred",
+                    f"kernel vsid={vsid:#x} page_index={page_index:#x} "
+                    f"sits in cpu{cpu_index}'s deferred queue — kernel "
+                    "invalidations must broadcast eagerly",
+                )
+            if vsid in segments:
+                record(
+                    "shootdown-reachable-vsid-deferred",
+                    f"vsid={vsid:#x} page_index={page_index:#x} is "
+                    f"deferred on cpu{cpu_index} while loaded in its "
+                    "segment registers",
+                )
+        if keys != shadow.pending[cpu_index]:
+            record(
+                "shootdown-shadow-divergence",
+                f"cpu{cpu_index} deferred queue has {len(keys)} keys but "
+                f"the shadow mirror has {len(shadow.pending[cpu_index])}",
+            )
+
+
 def full_sweep(kernel, shadow, record: Record, stable: bool = True) -> None:
     """Run every invariant; ``stable=False`` for mid-operation sweeps."""
     check_tlbs(kernel, shadow, record)
@@ -214,5 +259,6 @@ def full_sweep(kernel, shadow, record: Record, stable: bool = True) -> None:
     check_segments(kernel, record)
     check_precleared(kernel, shadow, record)
     check_frame_ownership(kernel, record)
+    check_shootdown(kernel, shadow, record)
     if stable:
         check_allocator(kernel, record)

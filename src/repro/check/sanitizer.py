@@ -86,6 +86,20 @@ class Sanitizer:
             )
         if result.path != "bat":
             vsid = self.machine.segments.vsid_for(ea)
+            if result.path == "tlb":
+                # SMP shootdown coherence: a TLB hit on a translation
+                # another CPU invalidated (and this CPU has not yet
+                # drained) is exactly the stale-remote-TLB bug the
+                # shootdown protocol exists to prevent.
+                cpu = self.machine.current_cpu
+                page_index = (ea >> PAGE_SHIFT) & PAGE_INDEX_MASK
+                if (vsid, page_index) in self.shadow.pending[cpu]:
+                    self._record(
+                        "shootdown-coherence",
+                        f"cpu{cpu} TLB served ea={ea:#x} vsid={vsid:#x} "
+                        "while its invalidation is still pending in the "
+                        "deferred shootdown queue",
+                    )
             if not self.kernel.vsid_allocator.is_live(vsid):
                 self._record(
                     "dead-vsid-served",
@@ -158,13 +172,16 @@ class Sanitizer:
                 "global-flush-left-htab",
                 f"{valid} valid hash PTEs survived flush_everything",
             )
-        for tlb in (machine.itlb, machine.dtlb):
-            if len(tlb):
-                self._record(
-                    "global-flush-left-tlb",
-                    f"{len(tlb)} {tlb.name} entries survived "
-                    "flush_everything",
-                )
+        for cpu in machine.cpus:
+            for tlb in (cpu.itlb, cpu.dtlb):
+                if len(tlb):
+                    self._record(
+                        "global-flush-left-tlb",
+                        f"{len(tlb)} cpu{cpu.index} {tlb.name} entries "
+                        "survived flush_everything",
+                    )
+        # Every deferred invalidation is moot once every TLB is empty.
+        self.shadow.clear_pending()
         zombies = self.kernel.vsid_allocator.zombie_vsids()
         if zombies:
             self._record(
@@ -188,6 +205,61 @@ class Sanitizer:
                 f"idle reclaim invalidated live vsid={pte.vsid:#x} "
                 f"page_index={pte.page_index:#x} (slot {flat})",
             )
+
+    # -- SMP shootdown hooks ----------------------------------------------------------
+
+    def after_shootdown_defer(self, cpu: int, keys) -> None:
+        """Invalidations were queued on a remote CPU instead of IPI'd.
+
+        Deferral is only safe while the target cannot reach the VSIDs:
+        its segment registers must not hold any of them (the drain runs
+        before any task that could is installed).
+        """
+        segments = set(self.machine.cpus[cpu].segments.snapshot())
+        for vsid, page_index in keys:
+            if vsid in segments:
+                self._record(
+                    "shootdown-unsafe-defer",
+                    f"invalidation of vsid={vsid:#x} "
+                    f"page_index={page_index:#x} deferred to cpu{cpu}, "
+                    "whose live segment registers hold that vsid",
+                )
+        self.shadow.note_deferred(cpu, keys)
+
+    def after_remote_invalidate(self, cpu: int, keys) -> None:
+        """A synchronous IPI scrubbed a remote CPU's TLBs: verify it."""
+        state = self.machine.cpus[cpu]
+        for vsid, page_index in keys:
+            for tlb in (state.itlb, state.dtlb):
+                if tlb.peek(vsid, page_index) is not None:
+                    self._record(
+                        "shootdown-left-remote-tlb",
+                        f"IPI shootdown left a cpu{cpu} {tlb.name} entry "
+                        f"for vsid={vsid:#x} page_index={page_index:#x}",
+                    )
+        # An eager invalidate supersedes any earlier deferral of the key.
+        self.shadow.note_invalidated(cpu, keys)
+
+    def after_shootdown_drain(self, cpu: int, keys) -> None:
+        """A CPU drained its deferred queue at context-switch time."""
+        state = self.machine.cpus[cpu]
+        for vsid, page_index in keys:
+            for tlb in (state.itlb, state.dtlb):
+                if tlb.peek(vsid, page_index) is not None:
+                    self._record(
+                        "shootdown-drain-left-tlb",
+                        f"drain left a cpu{cpu} {tlb.name} entry for "
+                        f"vsid={vsid:#x} page_index={page_index:#x}",
+                    )
+        drained = set(keys)
+        mirrored = self.shadow.pending[cpu]
+        if drained != mirrored:
+            self._record(
+                "shootdown-drain-mismatch",
+                f"cpu{cpu} drained {len(drained)} deferred invalidations "
+                f"but the shadow mirror holds {len(mirrored)}",
+            )
+        self.shadow.clear_pending(cpu)
 
     # -- §9 zero-page hooks ---------------------------------------------------------------
 

@@ -13,11 +13,19 @@ The one piece of genuinely shadowed state is page-zeroing: the §9
 pre-cleared list promises callers a zero page, which nothing in the
 model can re-derive, so the shadow tracks which frames were cleared and
 forgets them again on any translated write to the frame.
+
+SMP adds a second shadowed structure: per-CPU pending-invalidation sets
+(the "per-CPU shadow TLBs").  When the shootdown engine defers a remote
+invalidation, the shadow mirrors the queued ``(vsid, page_index)`` key
+for that CPU; a TLB hit on a pending key is the shootdown-coherence
+violation — a CPU translating through an entry another CPU invalidated.
+The shared hash table needs no SMP shadow of its own: it is validated
+against the (shared) Linux page tables exactly as before.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.hw.access import AccessKind
 from repro.kernel.vsid import NUM_USER_SEGMENTS, kernel_vsids
@@ -36,6 +44,11 @@ class ShadowMMU:
         self.kernel = kernel
         #: Frames known to contain zeroes (cleared, never written since).
         self._zeroed: Set[int] = set()
+        #: Per-CPU pending remote invalidations the shootdown engine has
+        #: deferred: a mirror of its queues, keyed (vsid, page_index).
+        self.pending: List[Set[Tuple[int, int]]] = [
+            set() for _ in range(kernel.machine.n_cpus)
+        ]
 
     # -- address resolution --------------------------------------------------------
 
@@ -100,6 +113,21 @@ class ShadowMMU:
         if pte is None or not pte.present:
             return None
         return pte.pfn
+
+    # -- pending-invalidation tracking (SMP shootdown) ---------------------------------
+
+    def note_deferred(self, cpu: int, keys) -> None:
+        self.pending[cpu].update(keys)
+
+    def note_invalidated(self, cpu: int, keys) -> None:
+        self.pending[cpu].difference_update(keys)
+
+    def clear_pending(self, cpu: Optional[int] = None) -> None:
+        if cpu is None:
+            for pending in self.pending:
+                pending.clear()
+        else:
+            self.pending[cpu].clear()
 
     # -- page-zero tracking -----------------------------------------------------------
 

@@ -6,8 +6,8 @@ reloads vs flushes vs user work vs syscall entry).  Times are integer
 cycles; conversion to wall-clock happens only at the reporting edge.
 
 This lives in ``hw`` — the ledger is the machine's clock, owned by
-:class:`~repro.hw.machine.MachineModel` — and is re-exported from
-``repro.sim.clock`` for the simulator-facing import path.
+:class:`~repro.hw.machine.MachineModel` — and is re-exported by
+``repro.sim`` for the simulator-facing import path.
 """
 
 from __future__ import annotations

@@ -1,0 +1,89 @@
+"""Per-CPU hardware state for the SMP machine model.
+
+Everything private to one processor lives here: the segment-register
+file and BAT array (per-CPU register state the kernel programs on every
+processor), both TLBs, the L1 caches and the per-CPU L2 behind them,
+the hardware performance monitor and the cycle ledger.  The hashed page
+table and physical memory stay on :class:`~repro.hw.machine.MachineModel`
+— they are the *shared* structures every mapping change must be made
+coherent against, which is exactly what the TLB-shootdown subsystem
+(:mod:`repro.kernel.shootdown`) exists to do.
+
+Each CPU gets its own :class:`~repro.hw.walker.HardwareWalker` over the
+shared table: the walk engine is on-chip silicon, and its PTE probes
+must charge *this* CPU's data cache (the §8 cache-pollution effect is
+per-processor).
+"""
+
+from __future__ import annotations
+
+from repro.hw.bat import BatArray
+from repro.hw.cache import Cache
+from repro.hw.clock import CycleLedger
+from repro.hw.hashtable import HashedPageTable
+from repro.hw.monitor import HardwareMonitor
+from repro.hw.segment import SegmentRegisterFile
+from repro.hw.tlb import Tlb
+from repro.hw.walker import HardwareWalker
+from repro.params import MachineSpec
+
+
+class CpuState:
+    """One processor's private translation and accounting state."""
+
+    __slots__ = (
+        "index",
+        "clock",
+        "monitor",
+        "segments",
+        "bats",
+        "itlb",
+        "dtlb",
+        "l2",
+        "icache",
+        "dcache",
+        "walker",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        spec: MachineSpec,
+        htab: HashedPageTable,
+        htab_base_pa: int,
+        cache_ptes: bool = True,
+    ):
+        self.index = index
+        self.clock = CycleLedger()
+        self.monitor = HardwareMonitor()
+        self.segments = SegmentRegisterFile()
+        self.bats = BatArray()
+        self.itlb = Tlb(spec.itlb_entries, spec.tlb_assoc, name="itlb")
+        self.dtlb = Tlb(spec.dtlb_entries, spec.tlb_assoc, name="dtlb")
+        self.l2 = Cache(
+            spec.l2_bytes,
+            8,
+            spec.mem_cycles,
+            name="l2",
+            word_cycles=spec.word_cycles,
+            hit_cycles=spec.l2_hit_cycles,
+        )
+        self.icache = Cache(
+            spec.icache_bytes,
+            spec.cache_assoc,
+            spec.mem_cycles,
+            name="icache",
+            word_cycles=spec.word_cycles,
+            next_level=self.l2,
+        )
+        self.dcache = Cache(
+            spec.dcache_bytes,
+            spec.cache_assoc,
+            spec.mem_cycles,
+            name="dcache",
+            word_cycles=spec.word_cycles,
+            next_level=self.l2,
+        )
+        self.walker = HardwareWalker(
+            htab, self.dcache, htab_base_pa, cache_ptes=cache_ptes
+        )

@@ -20,14 +20,10 @@ from typing import Callable, Optional
 from repro.errors import ConfigError, TranslationError
 from repro.hw.access import AccessKind
 from repro.hw.addr import ea_page_index, physical_address
-from repro.hw.bat import BatArray
 from repro.hw.cache import Cache
+from repro.hw.cpu import CpuState
 from repro.hw.hashtable import HashedPageTable
-from repro.hw.monitor import HardwareMonitor
-from repro.hw.segment import SegmentRegisterFile
 from repro.hw.tlb import Tlb, TlbEntry
-from repro.hw.walker import HardwareWalker
-from repro.hw.clock import CycleLedger
 from repro.params import (
     C603_MISS_INVOKE_CYCLES,
     C604_HASH_MISS_INVOKE_CYCLES,
@@ -74,51 +70,31 @@ class MachineModel:
         ram_bytes: int = RAM_BYTES,
         cache_ptes: bool = True,
         htab_ptes_per_group: int = PTES_PER_GROUP,
+        n_cpus: int = 1,
     ):
+        if n_cpus < 1:
+            raise ConfigError(f"n_cpus must be >= 1: {n_cpus}")
         self.spec = spec
         self.ram_bytes = ram_bytes
-        self.clock = CycleLedger()
-        self.monitor = HardwareMonitor()
-        self.segments = SegmentRegisterFile()
-        self.bats = BatArray()
-        self.itlb = Tlb(spec.itlb_entries, spec.tlb_assoc, name="itlb")
-        self.dtlb = Tlb(spec.dtlb_entries, spec.tlb_assoc, name="dtlb")
-        #: Unified board-level L2 behind both L1s.
-        self.l2 = Cache(
-            spec.l2_bytes,
-            8,
-            spec.mem_cycles,
-            name="l2",
-            word_cycles=spec.word_cycles,
-            hit_cycles=spec.l2_hit_cycles,
-        )
-        self.icache = Cache(
-            spec.icache_bytes,
-            spec.cache_assoc,
-            spec.mem_cycles,
-            name="icache",
-            word_cycles=spec.word_cycles,
-            next_level=self.l2,
-        )
-        self.dcache = Cache(
-            spec.dcache_bytes,
-            spec.cache_assoc,
-            spec.mem_cycles,
-            name="dcache",
-            word_cycles=spec.word_cycles,
-            next_level=self.l2,
-        )
+        self.n_cpus = n_cpus
         self.htab = HashedPageTable(
             groups=htab_groups, ptes_per_group=htab_ptes_per_group
         )
         htab_bytes = self.htab.slots * PTE_BYTES
         if htab_bytes >= ram_bytes:
             raise ConfigError("hash table does not fit in RAM")
-        #: The table lives at the top of physical memory.
+        #: The table lives at the top of physical memory, shared by every
+        #: CPU; so is physical memory itself.  Everything else — segment
+        #: registers, BATs, TLBs, L1/L2 caches, monitor, cycle ledger,
+        #: walk engine — is per-CPU (:class:`~repro.hw.cpu.CpuState`).
         self.htab_base_pa = ram_bytes - htab_bytes
-        self.walker = HardwareWalker(
-            self.htab, self.dcache, self.htab_base_pa, cache_ptes=cache_ptes
-        )
+        self.cpus = [
+            CpuState(index, spec, self.htab, self.htab_base_pa,
+                     cache_ptes=cache_ptes)
+            for index in range(n_cpus)
+        ]
+        self.current_cpu = 0
+        self._bind_cpu(self.cpus[0])
         self.refill_handler: Optional[RefillHandler] = None
         #: Opt-in shadow-MMU coherence sanitizer (``repro.check``).  When
         #: set, every translation served by any path is cross-validated
@@ -130,6 +106,52 @@ class MachineModel:
         #: structured events into it; emits are counter-free, so a
         #: traced run is bit-identical to an untraced one.
         self.tracer = None
+
+    # -- CPU selection --------------------------------------------------------
+
+    def _bind_cpu(self, cpu: CpuState) -> None:
+        """Bind one CPU's components to the machine's hot-path slots.
+
+        The translation fast paths read ``self.clock`` / ``self.itlb`` /
+        ... as plain attributes, so selecting a CPU is a handful of
+        reference copies at quantum boundaries instead of a property
+        indirection on every access.  With ``n_cpus=1`` the binding
+        happens exactly once, at construction.
+        """
+        self.clock = cpu.clock
+        self.monitor = cpu.monitor
+        self.segments = cpu.segments
+        self.bats = cpu.bats
+        self.itlb = cpu.itlb
+        self.dtlb = cpu.dtlb
+        self.l2 = cpu.l2
+        self.icache = cpu.icache
+        self.dcache = cpu.dcache
+        self.walker = cpu.walker
+
+    def set_current_cpu(self, index: int) -> None:
+        """Make ``index`` the executing CPU (the executive's round-robin)."""
+        if index == self.current_cpu:
+            return
+        self.current_cpu = index
+        self._bind_cpu(self.cpus[index])
+
+    # -- cross-CPU aggregates -------------------------------------------------
+
+    def total_cycles_all_cpus(self) -> int:
+        """Sum of every CPU's ledger (the SMP experiments' cost metric)."""
+        return sum(cpu.clock.total for cpu in self.cpus)
+
+    def cpu_cycle_totals(self) -> list:
+        return [cpu.clock.total for cpu in self.cpus]
+
+    def monitor_totals(self) -> dict:
+        """Every CPU's counters merged into one machine-wide snapshot."""
+        totals: dict = {}
+        for cpu in self.cpus:
+            for event, value in cpu.monitor.snapshot().items():
+                totals[event] = totals.get(event, 0) + value
+        return totals
 
     # -- configuration --------------------------------------------------------
 
@@ -374,14 +396,26 @@ class MachineModel:
 
     def context_switch_segments(self, vsids) -> int:
         """Load the 16 segment registers (the per-switch VSID reload)."""
-        self.segments.load_context(vsids)
+        return self.context_switch_segments_on(self.current_cpu, vsids)
+
+    def context_switch_segments_on(self, index: int, vsids) -> int:
+        """Segment-register reload on a specific CPU, charged to it.
+
+        The shootdown subsystem uses this to apply a remote context
+        renumbering (post-global-flush) on the CPU that owns the stale
+        registers; on the current CPU it is exactly the classic reload.
+        """
+        cpu = self.cpus[index]
+        cpu.segments.load_context(vsids)
         cycles = 2 * len(vsids)  # one mtsr per register, dual-issued
-        self.clock.add(cycles, "context_switch")
+        cpu.clock.add(cycles, "context_switch")
         return cycles
 
     def invalidate_tlbs(self) -> None:
-        self.itlb.invalidate_all()
-        self.dtlb.invalidate_all()
+        """Drop every TLB entry on every CPU (the global-flush path)."""
+        for cpu in self.cpus:
+            cpu.itlb.invalidate_all()
+            cpu.dtlb.invalidate_all()
 
     def elapsed_us(self) -> float:
         """Wall-clock equivalent of the ledger at this machine's clock."""

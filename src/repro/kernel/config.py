@@ -31,6 +31,33 @@ class IdlePageClearPolicy(enum.Enum):
     UNCACHED_LIST = "uncached_list"
 
 
+class ShootdownStrategy(enum.Enum):
+    """How a mapping change is made visible to the *other* CPUs' TLBs.
+
+    With one CPU every strategy degenerates to the local flush and
+    charges nothing extra.  The hash table is shared, so invalidating a
+    PTE there is globally visible at once; only the per-CPU TLBs can go
+    stale, and these strategies trade IPI traffic against deferred work
+    to fix that.  Kernel-segment pages are eagerly broadcast under every
+    strategy — the kernel VSIDs are loaded on all CPUs at all times, so
+    deferral would be incoherent.
+    """
+
+    #: The naive SMP port: every flush IPIs every other CPU.
+    BROADCAST = "broadcast"
+    #: mm_cpumask-style: IPI only CPUs currently running the flushed
+    #: address space (with fixed task affinity, usually none).
+    TARGETED = "targeted"
+    #: numaPTE-style lazy remote invalidation (arXiv 2401.15558): CPUs
+    #: running the mm get a targeted IPI; every other CPU gets the
+    #: invalidation queued and drains it at its next context switch.
+    LAZY = "lazy"
+    #: Lazy, plus mmap-reuse flush skipping (arXiv 2409.10946): munmap
+    #: pools the region instead of flushing, and an mmap that reuses it
+    #: revives the still-truthful translations — no flush at all.
+    MMAP_REUSE = "mmap_reuse"
+
+
 class VsidPolicy(enum.Enum):
     """How VSIDs are derived (§5.2 vs §7)."""
 
@@ -95,6 +122,12 @@ class KernelConfig:
     #: data (task struct, switch footprint) at context-switch entry, so
     #: the fills overlap the register save/restore work.
     cache_preloads: bool = False
+    #: SMP — how mapping changes reach remote TLBs (no effect with one
+    #: CPU: every strategy charges nothing when there are no remotes).
+    shootdown_strategy: ShootdownStrategy = ShootdownStrategy.BROADCAST
+    #: SMP — cap on the per-mm mmap-reuse pool (MMAP_REUSE only); the
+    #: oldest region is drained when the pool would exceed it.
+    mmap_reuse_max_regions: int = 8
 
     # -- Table 3 comparator cost model ---------------------------------------
     # The Rhapsody/MkLinux/AIX columns are modelled as cost profiles on
@@ -126,6 +159,8 @@ class KernelConfig:
             raise ConfigError("pipe_copy_multiplier must be >= 1")
         if self.pipe_op_extra_cycles < 0:
             raise ConfigError("pipe_op_extra_cycles must be >= 0")
+        if self.mmap_reuse_max_regions < 1:
+            raise ConfigError("mmap_reuse_max_regions must be >= 1")
 
     # -- presets the benchmarks use -------------------------------------------
 

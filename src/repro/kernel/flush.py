@@ -67,6 +67,9 @@ class FlushEngine:
         cycles += TLBIE_CYCLES
         machine.itlb.invalidate_page(page_index, vsid=vsid)
         machine.dtlb.invalidate_page(page_index, vsid=vsid)
+        self.kernel.shootdown.page_invalidated(
+            vsid, page_index, kernel_page=ea >= KERNELBASE
+        )
         machine.clock.add(cycles, "flush")
         if machine.sanitizer is not None:
             machine.sanitizer.after_page_flush(mm, ea, vsid)
@@ -95,6 +98,9 @@ class FlushEngine:
             # Reload the live segment registers so the new VSIDs take
             # effect immediately (counted inside the machine call).
             self.machine.context_switch_segments(mm.segment_vsids())
+        # Remote CPUs running this mm hold the retired VSIDs in their
+        # live segment registers; the shootdown engine reloads them.
+        cycles += kernel.shootdown.context_bumped(mm)
         self.machine.monitor.count("vsid_bump")
         self.machine.monitor.count("flush_range_lazy")
         self.machine.clock.add(cycles, "flush")
@@ -111,7 +117,10 @@ class FlushEngine:
     def flush_page(self, mm, ea: int) -> int:
         """Invalidate a single translation (always the search path)."""
         self.machine.monitor.count("flush_range_search")
-        return self._search_flush_page(mm, ea)
+        shootdown = self.kernel.shootdown
+        shootdown.begin(mm)
+        cycles = self._search_flush_page(mm, ea)
+        return cycles + shootdown.commit()
 
     def flush_range(self, mm, start: int, end: int) -> int:
         """Invalidate every translation in ``[start, end)``.
@@ -134,9 +143,13 @@ class FlushEngine:
         # each PTE in turn" — every page of the range pays the search,
         # whether or not anything was ever mapped there.
         self.machine.monitor.count("flush_range_search")
+        shootdown = self.kernel.shootdown
+        shootdown.begin(mm)
         cycles = 0
         for ea in range(start, end, PAGE_SIZE):
             cycles += self._search_flush_page(mm, ea)
+        # One IPI round covers the whole range (batched shootdown).
+        cycles += shootdown.commit()
         if self.machine.tracer is not None:
             self.machine.tracer.complete(
                 "flush-range", "flush", cycles,
@@ -149,11 +162,14 @@ class FlushEngine:
         if self.config.lazy_vsid_flush:
             return self._bump_context(mm)
         self.machine.monitor.count("flush_range_search")
+        shootdown = self.kernel.shootdown
+        shootdown.begin(mm)
         cycles = 0
         pages = 0
         for ea, _pte in list(mm.page_table.mapped_pages()):
             cycles += self._search_flush_page(mm, ea)
             pages += 1
+        cycles += shootdown.commit()
         if self.machine.tracer is not None:
             self.machine.tracer.complete(
                 "flush-mm", "flush", cycles,
@@ -175,6 +191,7 @@ class FlushEngine:
         machine.invalidate_tlbs()
         cycles = max(cleared, 1) * 2 + TLBIE_CYCLES
         machine.clock.add(cycles, "flush")
+        cycles += self.kernel.shootdown.global_flush()
         self.kernel.post_global_flush()
         if machine.sanitizer is not None:
             machine.sanitizer.after_global_flush()

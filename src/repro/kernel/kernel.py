@@ -25,6 +25,7 @@ from repro.kernel.pagetable import LinuxPte, TwoLevelPageTable, page_base
 from repro.kernel.palloc import PageAllocator
 from repro.kernel.reload import HtabReloader
 from repro.kernel.sched import Scheduler
+from repro.kernel.shootdown import ShootdownEngine
 from repro.kernel.syscall import (
     KERNEL_FOOTPRINT,
     PipeTable,
@@ -111,7 +112,11 @@ class Kernel:
         # Fixed kernel anchors the miss handlers touch.
         self.task_struct_pa = KERNEL_DATA_OFFSET + 0x2000
         self.kernel_stack_pa = KERNEL_DATA_OFFSET + 0x4000
+        #: One running task slot per CPU (``current_task`` views the
+        #: slot of the machine's current CPU).
+        self._current_tasks: List[Optional[Task]] = [None] * machine.n_cpus
         self.flush = FlushEngine(self)
+        self.shootdown = ShootdownEngine(self)
         self.reloader = HtabReloader(self)
         self.miss_handlers = MissHandlers(self)
         machine.install_refill_handler(self.miss_handlers.refill)
@@ -121,17 +126,28 @@ class Kernel:
         self.idle_task = IdleTask(self)
         self.tasks: Dict[int, Task] = {}
         self._next_pid = 1
-        self.current_task: Optional[Task] = None
         #: The mm whose VSID bump is in flight (see FlushEngine._bump_context);
         #: a counter wrap during the bump must not renumber it.
         self._mm_in_bump: Optional[Mm] = None
         #: pid -> tasks blocked in waitpid() on that pid.
         self.exit_waiters: Dict[int, List[Task]] = {}
-        # Kernel segment registers live for the whole boot.
-        for index, vsid in zip(range(12, 16), kernel_vsids()):
-            machine.segments.write(index, vsid)
+        # Kernel segment registers live for the whole boot, on every CPU.
+        for cpu in machine.cpus:
+            for index, vsid in zip(range(12, 16), kernel_vsids()):
+                cpu.segments.write(index, vsid)
         # The shared C library image every dynamic exec maps.
         self.create_image(LIBC_IMAGE, LIBC_PAGES)
+
+    # -- per-CPU current task ------------------------------------------------------
+
+    @property
+    def current_task(self) -> Optional[Task]:
+        """The task running on the machine's *current* CPU."""
+        return self._current_tasks[self.machine.current_cpu]
+
+    @current_task.setter
+    def current_task(self, task: Optional[Task]) -> None:
+        self._current_tasks[self.machine.current_cpu] = task
 
     # -- boot helpers -------------------------------------------------------------
 
@@ -204,26 +220,28 @@ class Kernel:
             if task.mm is self._mm_in_bump:
                 continue
             task.mm.user_vsids = allocator.allocate(task.pid)
-        if (
-            self.current_task is not None
-            and self.current_task.mm is not self._mm_in_bump
-        ):
-            self.machine.context_switch_segments(
-                self.current_task.mm.segment_vsids()
-            )
+        # Every CPU's live segment registers hold retired VSID numbers
+        # now; reload each one with its current task's fresh set.
+        for cpu, task in enumerate(self._current_tasks):
+            if task is not None and task.mm is not self._mm_in_bump:
+                self.machine.context_switch_segments_on(
+                    cpu, task.mm.segment_vsids()
+                )
 
     def _program_bats(self) -> None:
         machine = self.machine
         if self.config.bat_kernel_map:
             # One BAT pair covers the whole 32 MB direct map: kernel
             # text, data, page tables and the hash table all translate
-            # without any TLB or hash-table presence (§5.1).
+            # without any TLB or hash-table presence (§5.1).  BATs are
+            # per-CPU registers, so boot programs every processor.
             bat = BatRegister.mapping(
                 ea_base=KERNELBASE,
                 pa_base=0,
                 size_bytes=machine.ram_bytes,
             )
-            machine.bats.map_both(0, bat)
+            for cpu in machine.cpus:
+                cpu.bats.map_both(0, bat)
         if self.config.bat_io_map:
             io_bat = BatRegister.mapping(
                 ea_base=IO_BASE_EA,
@@ -231,7 +249,8 @@ class Kernel:
                 size_bytes=IO_SIZE,
                 wimg=WIMG_CACHE_INHIBIT,
             )
-            machine.bats.set(1, io_bat, instruction=False)
+            for cpu in machine.cpus:
+                cpu.bats.set(1, io_bat, instruction=False)
 
     # -- addressing helpers -----------------------------------------------------------
 
@@ -322,6 +341,10 @@ class Kernel:
         vma = mm.find_vma(ea)
         if vma is None:
             raise SegmentFault(ea)
+        if vma.pooled:
+            # Physically still mapped, but unmapped as far as the
+            # process is concerned — touching it is a segfault.
+            raise SegmentFault(ea, "access to pooled (unmapped) region")
         if write and not vma.writable:
             raise SegmentFault(ea, "write to read-only mapping")
         cycles = (
@@ -416,6 +439,9 @@ class Kernel:
         previous = self.current_task
         if previous is not None and previous.state is TaskState.RUNNING:
             previous.state = TaskState.READY
+        # Scrub this CPU's deferred remote invalidations before the new
+        # task's segment registers make their VSIDs reachable again.
+        self.shootdown.drain_current_cpu()
         machine.context_switch_segments(task.mm.segment_vsids())
         # §5.1's per-process framebuffer BAT: swap DBAT[2] with the task.
         if task.mm.io_bat is not None:
@@ -480,13 +506,17 @@ class Kernel:
             end=USER_STACK_TOP,
             name="stack",
         ))
-        task = Task(pid=pid, name=name, mm=mm, seed=seed)
+        task = Task(pid=pid, name=name, mm=mm, seed=seed,
+                    cpu=self.scheduler.assign_cpu())
         self.tasks[pid] = task
         return task
 
     def sys_fork(self, parent: Task) -> Task:
         """fork(): duplicate the parent's address space."""
         self._syscall_entry("fork")
+        # Pooled regions are unmapped from the process's point of view;
+        # the child must not inherit them, so make them real first.
+        self.shootdown.pool_drain(parent.mm)
         pid = self._next_pid
         self._next_pid += 1
         mm = self._new_mm(pid)
@@ -525,7 +555,7 @@ class Kernel:
         # parent's cached translations; the flush cost is the same.
         self.flush.flush_mm(parent.mm)
         child = Task(pid=pid, name=f"{parent.name}-child", mm=mm,
-                     seed=parent.seed + pid)
+                     seed=parent.seed + pid, cpu=self.scheduler.assign_cpu())
         self.tasks[pid] = child
         return child
 
@@ -542,6 +572,9 @@ class Kernel:
         self._syscall_entry("exec")
         image = f"bin:{image_name}"
         self.create_image(image, text_pages)
+        # flush_mm + the page-release pass below already invalidate and
+        # free everything pooled; just drop the pool bookkeeping.
+        self.shootdown.pool_forget(task.mm)
         self.flush.flush_mm(task.mm)
         self._drop_user_pages(task.mm)
         task.mm.vmas = []
@@ -594,6 +627,7 @@ class Kernel:
     def sys_exit(self, task: Task, code: int = 0) -> None:
         """exit(): tear the process down."""
         self._syscall_entry("exit")
+        self.shootdown.pool_forget(task.mm)
         if not self.config.lazy_vsid_flush:
             # The original kernel scrubbed the dying context's PTEs out
             # of the hash table; the lazy kernel just retires the VSIDs.
@@ -604,8 +638,9 @@ class Kernel:
         task.state = TaskState.EXITED
         task.exit_code = code
         self.scheduler.dequeue(task)
-        if self.current_task is task:
-            self.current_task = None
+        for cpu, current in enumerate(self._current_tasks):
+            if current is task:
+                self._current_tasks[cpu] = None
         del self.tasks[task.pid]
         self._wake_all(self.exit_waiters.pop(task.pid, []))
 
@@ -625,7 +660,22 @@ class Kernel:
             raise SyscallError("mmap", f"bad length {length}")
         pages = (length + PAGE_SIZE - 1) >> PAGE_SHIFT
         if addr is None:
+            if file is None:
+                # mmap-reuse fast path (arXiv 2409.10946): revive a
+                # pooled region of the same shape — its translations
+                # were never invalidated, so there is nothing to flush
+                # and the first touches will not even fault.
+                pooled = self.shootdown.pool_take(
+                    task.mm, pages, writable=writable
+                )
+                if pooled is not None:
+                    pooled.name = "mmap"
+                    return pooled.start
             addr = self._find_mmap_gap(task.mm, pages)
+        else:
+            self.shootdown.pool_drop_overlaps(
+                task.mm, addr, addr + pages * PAGE_SIZE
+            )
         if file is not None:
             self.fs.lookup(file)
         task.mm.add_vma(Vma(
@@ -659,12 +709,21 @@ class Kernel:
         end = addr + ((length + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1))
         mm = task.mm
         vma = mm.find_vma(addr)
-        if vma is None or vma.start != addr or vma.end != end:
+        if vma is None or vma.pooled or vma.start != addr or vma.end != end:
             raise SyscallError(
                 "munmap", f"no matching VMA at {addr:#x}+{length:#x}"
             )
+        if self.shootdown.pool_munmap(mm, vma):
+            # Parked for reuse: PTEs, frames and TLB entries stay live
+            # (the flush-skipping this strategy exists to measure).
+            return
         self.flush.flush_range(mm, addr, end)
-        for base in range(addr, end, PAGE_SIZE):
+        self.release_user_range(mm, addr, end)
+        mm.remove_vma(vma)
+
+    def release_user_range(self, mm: Mm, start: int, end: int) -> None:
+        """Release every resident frame and PTE in ``[start, end)``."""
+        for base in range(start, end, PAGE_SIZE):
             pfn = mm.resident.pop(base, None)
             if pfn is not None:
                 mm.page_table.clear_pte(base)
@@ -672,7 +731,6 @@ class Kernel:
                     mm.shared_pages.discard(pfn)
                 else:
                     self.palloc.free_page(pfn)
-        mm.remove_vma(vma)
 
     def sys_brk(self, task: Task, grow_pages: int) -> int:
         """brk(): grow the data segment; returns the new break."""

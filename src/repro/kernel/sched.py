@@ -1,4 +1,4 @@
-"""Run queue and context-switch path.
+"""Run queues and the context-switch path.
 
 The context switch is one of the paper's headline metrics (33% faster
 with the §6.1 handlers; 6 µs vs 28 µs optimized-vs-not in Table 3).  Its
@@ -7,6 +7,12 @@ cost here is the fixed save/restore path, the 16 segment-register loads
 the switch code, and — implicitly — the TLB and cache misses the new
 task takes when it resumes, which the machine model charges as they
 happen.
+
+SMP: each CPU owns a run queue and a timer heap.  A task's home CPU is
+fixed at creation (round-robin placement, no migration), so the set of
+tasks a CPU ever runs — and therefore every per-CPU cycle total — is a
+pure function of spawn order.  With one CPU this degenerates to the
+original single-queue scheduler, charge for charge.
 """
 
 from __future__ import annotations
@@ -21,15 +27,27 @@ from repro.params import SCHED_PICK_CYCLES
 
 
 class Scheduler:
-    """Round-robin run queue plus a timer/event queue for sleepers."""
+    """Per-CPU round-robin run queues plus per-CPU timer queues."""
 
     def __init__(self, kernel):
         self.kernel = kernel
-        self._queue: deque = deque()
-        #: Min-heap of (wakeup_cycle, sequence, task) for timed sleeps
-        #: (disk completions).
-        self._timers: List[Tuple[int, int, Task]] = []
+        n_cpus = kernel.machine.n_cpus
+        self._queues: List[deque] = [deque() for _ in range(n_cpus)]
+        #: Per-CPU min-heaps of (wakeup_cycle, sequence, task) for timed
+        #: sleeps (disk completions).
+        self._timers: List[List[Tuple[int, int, Task]]] = [
+            [] for _ in range(n_cpus)
+        ]
         self._timer_seq = 0
+        self._next_cpu = 0
+
+    # -- placement -----------------------------------------------------------
+
+    def assign_cpu(self) -> int:
+        """Pick the home CPU for a new task (deterministic round-robin)."""
+        cpu = self._next_cpu
+        self._next_cpu = (self._next_cpu + 1) % len(self._queues)
+        return cpu
 
     # -- run queue -----------------------------------------------------------
 
@@ -37,34 +55,40 @@ class Scheduler:
         if task.state is TaskState.EXITED:
             raise KernelPanic(f"enqueue of exited task {task.pid}")
         task.state = TaskState.READY
-        self._queue.append(task)
+        self._queues[task.cpu].append(task)
 
     def dequeue(self, task: Task) -> None:
         try:
-            self._queue.remove(task)
+            self._queues[task.cpu].remove(task)
         except ValueError:
             pass
 
     def pick_next(self) -> Optional[Task]:
-        """Pop the next runnable task, charging the scheduler's cost."""
+        """Pop the current CPU's next runnable task, charging the cost."""
         self.kernel.machine.clock.add(SCHED_PICK_CYCLES, "sched")
-        while self._queue:
-            task = self._queue.popleft()
+        queue = self._queues[self.kernel.machine.current_cpu]
+        while queue:
+            task = queue.popleft()
             if task.state is not TaskState.EXITED:
                 return task
         return None
 
     def runnable_count(self) -> int:
         return sum(
-            1 for task in self._queue if task.state is not TaskState.EXITED
+            1
+            for queue in self._queues
+            for task in queue
+            if task.state is not TaskState.EXITED
         )
 
-    # -- timed sleeps (I/O completion) -------------------------------------------
+    # -- timed sleeps (I/O completion) ----------------------------------------
 
     def sleep_until(self, task: Task, wakeup_cycle: int) -> None:
         task.state = TaskState.SLEEPING
         self._timer_seq += 1
-        heapq.heappush(self._timers, (wakeup_cycle, self._timer_seq, task))
+        heapq.heappush(
+            self._timers[task.cpu], (wakeup_cycle, self._timer_seq, task)
+        )
         tracer = self.kernel.machine.tracer
         if tracer is not None:
             tracer.instant(
@@ -72,18 +96,25 @@ class Scheduler:
                 {"pid": task.pid, "until_cycle": wakeup_cycle},
             )
 
-    def next_wakeup(self) -> Optional[int]:
-        while self._timers and self._timers[0][2].state is TaskState.EXITED:
-            heapq.heappop(self._timers)
-        if not self._timers:
+    def next_wakeup(self, cpu: Optional[int] = None) -> Optional[int]:
+        """Earliest pending deadline on ``cpu`` (default: current CPU)."""
+        if cpu is None:
+            cpu = self.kernel.machine.current_cpu
+        timers = self._timers[cpu]
+        while timers and timers[0][2].state is TaskState.EXITED:
+            heapq.heappop(timers)
+        if not timers:
             return None
-        return self._timers[0][0]
+        return timers[0][0]
 
-    def expire_timers(self, now: int) -> List[Task]:
-        """Wake every sleeper whose deadline has passed."""
+    def expire_timers(self, now: int, cpu: Optional[int] = None) -> List[Task]:
+        """Wake every sleeper on ``cpu`` whose deadline has passed."""
+        if cpu is None:
+            cpu = self.kernel.machine.current_cpu
+        timers = self._timers[cpu]
         woken = []
-        while self._timers and self._timers[0][0] <= now:
-            _deadline, _seq, task = heapq.heappop(self._timers)
+        while timers and timers[0][0] <= now:
+            _deadline, _seq, task = heapq.heappop(timers)
             if task.state is TaskState.SLEEPING:
                 self.enqueue(task)
                 woken.append(task)
@@ -94,4 +125,7 @@ class Scheduler:
         return woken
 
     def has_timers(self) -> bool:
-        return self.next_wakeup() is not None
+        return any(
+            self.next_wakeup(cpu) is not None
+            for cpu in range(len(self._timers))
+        )

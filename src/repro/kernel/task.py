@@ -36,6 +36,10 @@ class Vma:
     #: File offset of the area's first byte (file-backed areas).
     file_offset: int = 0
     name: str = "anon"
+    #: Parked on the mm's mmap-reuse pool (unmapped from the process's
+    #: point of view, but translations deliberately left live so a
+    #: matching re-mmap can skip the shootdown — arXiv 2409.10946).
+    pooled: bool = False
 
     def __post_init__(self):
         if self.start & (PAGE_SIZE - 1) or self.end & (PAGE_SIZE - 1):
@@ -70,6 +74,9 @@ class Mm:
         self.resident = {}
         #: Frames shared with the page cache (not freed at teardown).
         self.shared_pages = set()
+        #: Pooled VMAs awaiting reuse under ShootdownStrategy.MMAP_REUSE
+        #: (oldest first; their PTEs and frames are intact on purpose).
+        self.reuse_pool: List[Vma] = []
 
     def segment_vsids(self) -> List[int]:
         """All 16 segment-register values for this address space."""
@@ -113,6 +120,9 @@ class Task:
     last_scheduled: int = 0
     #: Per-task deterministic RNG seed used by workload trace generators.
     seed: int = 0
+    #: Home CPU.  Placement is fixed at spawn/fork (round-robin) — no
+    #: migration — which keeps the SMP quantum loop deterministic.
+    cpu: int = 0
 
     def __hash__(self):
         return self.pid

@@ -33,6 +33,7 @@ ALL_RULES: List[Rule] = [
     rules.WallClockRule(),
     rules.SetIterationRule(),
     rules.LayeringRule(),
+    rules.ShimImportRule(),
     rules.ZeroPerturbationRule(),
     rules.HookGuardRule(),
     rules.ErrorDisciplineRule(),

@@ -79,6 +79,7 @@ class Observability:
         self.label = label if label is not None else machine.spec.name
         self.tracer: Optional[EventTracer] = None
         self.profiler: Optional[CycleProfiler] = None
+        self.profilers: List[CycleProfiler] = []
         self.sampler: Optional[TimeSeriesSampler] = None
         if trace:
             self.tracer = EventTracer(
@@ -88,11 +89,17 @@ class Observability:
             # attach point: installs the tracer on the machine's dedicated
             # observer slots, which hold no simulation state.
             machine.tracer = self.tracer
-            # repro-lint: disable=zero-perturbation -- same attach point,
-            # monitor-side observer slot.
-            machine.monitor.tracer = self.tracer
+            for cpu in machine.cpus:
+                # repro-lint: disable=zero-perturbation -- same attach
+                # point, every CPU's monitor-side observer slot.
+                cpu.monitor.tracer = self.tracer
         if profile:
-            self.profiler = CycleProfiler(machine.clock)
+            # One profiler per CPU ledger; ``profiler`` stays the boot
+            # CPU's for existing single-CPU callers.
+            self.profilers = [
+                CycleProfiler(cpu.clock) for cpu in machine.cpus
+            ]
+            self.profiler = self.profilers[0]
         if sample_every_us is not None:
             self.sampler = TimeSeriesSampler(
                 kernel, sample_every_us, tracer=self.tracer
@@ -112,9 +119,12 @@ class Observability:
         return self.machine.monitor.snapshot()
 
     def attribution(self) -> Dict[str, int]:
-        if self.profiler is None:
+        """Path-category attribution summed over every CPU's ledger."""
+        if not self.profilers:
             return {}
-        return self.profiler.attribution()
+        return merge_attributions(
+            profiler.attribution() for profiler in self.profilers
+        )
 
 
 class _GlobalObs:

@@ -54,6 +54,7 @@ SPAN_EVENTS: Tuple[str, ...] = (
     "reclaim-chunk",
     "idle-window",
     "page-fault",
+    "shootdown-drain",
 )
 
 #: Tracer instant names whose occurrence counts are derived.  The
@@ -66,6 +67,7 @@ INSTANT_EVENTS: Tuple[str, ...] = (
     "pipe-create",
     "pipe-close",
     "preclear-page",
+    "ipi",
 )
 
 #: Chrome counter tracks whose sample counts are derived.
@@ -104,6 +106,12 @@ DRIFT_COUNTERS: Tuple[str, ...] = (
     "scavenge_burst",
     "context_switch",
     "syscall",
+    "ipi_sent",
+    "ipi_received",
+    "shootdown_deferred",
+    "shootdown_drained",
+    "flush_skipped_reuse",
+    "reuse_pool_hit",
 )
 
 #: Path category -> the tracer spans that time it.  Keys cover the full
@@ -119,6 +127,7 @@ CATEGORY_SPANS: Dict[str, Tuple[str, ...]] = {
         "flush-page", "flush-range", "flush-mm", "flush-everything",
         "vsid-bump",
     ),
+    "shootdown": ("shootdown-drain",),
     "idle": ("reclaim-chunk", "idle-window"),
     "syscall": (),
     "fault": ("page-fault",),
@@ -237,7 +246,7 @@ def _merged_counts(count_lists: List[List[int]]) -> List[int]:
 
 def _attribution_block(observed: Iterable[Any]) -> Optional[Dict[str, object]]:
     attribution = merge_attributions(
-        obs.profiler.attribution()
+        obs.attribution()
         for obs in observed
         if obs.profiler is not None
     )
@@ -365,7 +374,9 @@ def derive(observed: Sequence[Any]) -> Dict[str, object]:
         if name not in machines:
             machines.append(name)
     out: Dict[str, object] = {
-        "total_cycles": sum(obs.machine.clock.total for obs in observed),
+        "total_cycles": sum(
+            obs.machine.total_cycles_all_cpus() for obs in observed
+        ),
         "machines": machines,
         "simulators": len(observed),
     }
@@ -374,7 +385,7 @@ def derive(observed: Sequence[Any]) -> Dict[str, object]:
         out["attribution"] = attribution
     counters = {name: 0 for name in DRIFT_COUNTERS}
     for obs in observed:
-        snapshot = obs.machine.monitor.snapshot()
+        snapshot = obs.machine.monitor_totals()
         for name in DRIFT_COUNTERS:
             counters[name] += snapshot.get(name, 0)
     out["counters"] = counters

@@ -44,6 +44,7 @@ EVENT_NAMES: Dict[str, str] = {
     "reclaim-chunk": "idle-task zombie reclaim over one hash-table chunk",
     "idle-window": "one scheduling of the idle task",
     "page-fault": "demand fault handled (major or minor)",
+    "shootdown-drain": "deferred remote TLB invalidations drained at ctxsw",
     # -- tracer instants (Chrome "i" events) ----------------------------
     "syscall:*": "syscall entry, suffixed with the syscall name",
     "ctxsw": "context switch committed to a task",
@@ -52,6 +53,7 @@ EVENT_NAMES: Dict[str, str] = {
     "pipe-create": "pipe created",
     "pipe-close": "pipe endpoint closed",
     "preclear-page": "idle task pre-cleared one free page (section 9)",
+    "ipi": "inter-processor interrupt round for a TLB shootdown",
     # -- tracer counter tracks (Chrome "C" events) ----------------------
     "htab": "hash-table live/zombie occupancy curve",
     "occupancy": "hash-table valid-entry curve",
@@ -82,6 +84,12 @@ EVENT_NAMES: Dict[str, str] = {
     "scavenge_burst": "on-miss scavenge burst ran",
     "context_switch": "context switch",
     "syscall": "syscall entered",
+    "ipi_sent": "shootdown IPI dispatched to a remote CPU",
+    "ipi_received": "shootdown IPI delivered on a remote CPU",
+    "shootdown_deferred": "remote invalidation queued instead of IPI'd",
+    "shootdown_drained": "deferred invalidation applied at context switch",
+    "flush_skipped_reuse": "munmap flush skipped by pooling the region",
+    "reuse_pool_hit": "mmap revived a pooled region without faulting",
 }
 
 #: Monitor events republished as trace instants by default.  The cache
@@ -108,6 +116,12 @@ DEFAULT_MONITOR_EVENTS: FrozenSet[str] = frozenset({
     "pages_precleared",
     "precleared_page_used",
     "scavenge_burst",
+    "ipi_sent",
+    "ipi_received",
+    "shootdown_deferred",
+    "shootdown_drained",
+    "flush_skipped_reuse",
+    "reuse_pool_hit",
 })
 
 #: Default ring capacity, in events.  A full E7 run emits a few million

@@ -41,6 +41,7 @@ SPAN_CATEGORY: Dict[str, str] = {
     "flush-mm": "flush",
     "flush-everything": "flush",
     "vsid-bump": "flush",
+    "shootdown-drain": "shootdown",
     "reclaim-chunk": "idle",
     "idle-window": "idle",
     "page-fault": "fault",

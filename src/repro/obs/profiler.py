@@ -26,6 +26,8 @@ PATH_CATEGORIES: Dict[str, str] = {
     "scavenge": "tlb-reload",
     # Translation teardown.
     "flush": "flush",
+    # SMP TLB-shootdown traffic: IPI send/deliver and deferred drains.
+    "shootdown": "shootdown",
     # The idle task's three jobs.
     "idle_reclaim": "idle",
     "idle_spin": "idle",
@@ -50,8 +52,8 @@ PATH_CATEGORIES: Dict[str, str] = {
 #: Stable display order for rendered breakdowns (largest concerns of the
 #: paper first); categories absent from a run are skipped.
 DISPLAY_ORDER = (
-    "user-compute", "memory", "tlb-reload", "flush", "idle", "syscall",
-    "fault", "scheduling", "io", "kernel-mm", "other",
+    "user-compute", "memory", "tlb-reload", "flush", "shootdown", "idle",
+    "syscall", "fault", "scheduling", "io", "kernel-mm", "other",
 )
 
 

@@ -68,7 +68,10 @@ class TimeSeriesSampler:
         )
         valid = live + zombie
         hottest = htab.hottest_bucket_load()
-        counters = machine.monitor.snapshot()
+        if machine.n_cpus > 1:
+            counters = machine.monitor_totals()
+        else:
+            counters = machine.monitor.snapshot()
         sample = {
             "cycle": total,
             "us": round(machine.spec.cycles_to_us(total), 3),
@@ -81,6 +84,10 @@ class TimeSeriesSampler:
             },
             "counters": counters,
         }
+        if machine.n_cpus > 1:
+            # Per-CPU ledger occupancy: where simulated time is accruing
+            # across the machine at this sample boundary.
+            sample["cpu_cycles"] = machine.cpu_cycle_totals()
         self.samples.append(sample)
         if self.tracer is not None:
             self.tracer.counter(

@@ -32,8 +32,8 @@ from repro.obs import baseline
 #: order.  Checked by ``repro lint`` against the profiler's registered
 #: PATH_CATEGORIES values (plus the "other" fallback).
 MOVER_CATEGORIES = (
-    "user-compute", "memory", "tlb-reload", "flush", "idle", "syscall",
-    "fault", "scheduling", "io", "kernel-mm", "other",
+    "user-compute", "memory", "tlb-reload", "flush", "shootdown", "idle",
+    "syscall", "fault", "scheduling", "io", "kernel-mm", "other",
 )
 
 #: Headline metrics carried through per step, in display order.

@@ -184,6 +184,29 @@ USER_COMPUTE_PER_LINE_CYCLES = 22
 #: Pipe wakeup: mark reader runnable, requeue.
 PIPE_WAKEUP_CYCLES = 90
 
+# -- TLB shootdown (SMP) ----------------------------------------------------
+# The IPI cost model for kernel/shootdown.py.  A shootdown round costs
+# the initiator a fixed send plus a per-target synchronization wait, and
+# costs each target the interrupt delivery plus a tlbie per page.  With
+# one CPU there are no targets, so none of these are ever charged.
+
+#: Initiator: write the IPI request block, ring the doorbells.
+IPI_SEND_CYCLES = 150
+
+#: Initiator: spin-wait per acknowledging target CPU.
+IPI_WAIT_PER_TARGET_CYCLES = 80
+
+#: Target: take the external interrupt, read the request block, return.
+IPI_DELIVER_CYCLES = 240
+
+#: Initiator: append one invalidation to a remote CPU's deferred queue
+#: (a couple of stores into the per-CPU ring, no interrupt).
+SHOOTDOWN_DEFER_PER_PAGE_CYCLES = 5
+
+#: Target: process one deferred invalidation at context-switch drain
+#: time (queue pop + tlbie issue, amortized).
+SHOOTDOWN_DRAIN_PER_PAGE_CYCLES = 14
+
 # ---------------------------------------------------------------------------
 # Machine specifications
 # ---------------------------------------------------------------------------

@@ -5,7 +5,7 @@ pull in the experiment-facing machinery, which is heavy and unneeded
 for callers that only want the ledger or a trace.
 """
 
-from repro.sim.clock import CycleLedger
+from repro.hw.clock import CycleLedger
 from repro.sim.trace import (
     PageVisit,
     WorkingSetTrace,

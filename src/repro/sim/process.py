@@ -83,32 +83,60 @@ class Executive:
     # -- the main loop --------------------------------------------------------------
 
     def run(self, max_dispatches: int = DEFAULT_MAX_DISPATCHES) -> None:
-        """Run until every body has exited."""
+        """Run until every body has exited.
+
+        SMP is a deterministic round-robin over the CPUs: each outer
+        iteration visits CPU 0..N-1 in order and runs that CPU's next
+        runnable task for one quantum (until it blocks, yields, or
+        exits).  Task placement is fixed at creation, so the interleaving
+        — and therefore every per-CPU ledger — is a pure function of the
+        workload.  With one CPU the loop is the original single-queue
+        executive, charge for charge.
+        """
         kernel = self.kernel
         sched = kernel.scheduler
+        machine = kernel.machine
         while self._bodies:
-            task = sched.pick_next()
-            if task is None:
+            ran = False
+            for cpu in range(machine.n_cpus):
+                machine.set_current_cpu(cpu)
+                task = sched.pick_next()
+                if task is None:
+                    continue
+                ran = True
+                kernel.switch_to(task)
+                self._run_task(task, max_dispatches)
+            if self._bodies and not ran:
                 self._idle_until_wakeup()
-                continue
-            kernel.switch_to(task)
-            self._run_task(task, max_dispatches)
+        # Leave the boot CPU selected so post-run measurement reads the
+        # same state it always did.
+        machine.set_current_cpu(0)
 
     def _idle_until_wakeup(self) -> None:
+        """Every CPU is idle: run each one's idle window to its next
+        timer wakeup (the §7/§9 idle optimizations get their window
+        here, on every processor that has one)."""
         kernel = self.kernel
         sched = kernel.scheduler
-        wake = sched.next_wakeup()
-        if wake is None:
+        machine = kernel.machine
+        wakes = [
+            sched.next_wakeup(cpu) for cpu in range(machine.n_cpus)
+        ]
+        if all(wake is None for wake in wakes):
             blocked = sorted(t.pid for t in self._bodies)
             raise KernelPanic(
                 f"deadlock: tasks {blocked} blocked with nothing runnable"
             )
-        clock = kernel.machine.clock
-        window = max(wake - clock.total, 1)
-        kernel.run_idle(window)
-        if clock.total < wake:
-            clock.add(wake - clock.total, "io_wait")
-        sched.expire_timers(clock.total)
+        for cpu, wake in enumerate(wakes):
+            if wake is None:
+                continue
+            machine.set_current_cpu(cpu)
+            clock = machine.clock
+            window = max(wake - clock.total, 1)
+            kernel.run_idle(window)
+            if clock.total < wake:
+                clock.add(wake - clock.total, "io_wait")
+            sched.expire_timers(clock.total, cpu)
 
     # -- per-task execution ------------------------------------------------------------
 

@@ -32,6 +32,7 @@ class Simulator:
         trace: bool = False,
         profile: bool = False,
         sample_every_us: Optional[float] = None,
+        n_cpus: int = 1,
     ):
         self.spec = spec
         self.config = config if config is not None else KernelConfig.unoptimized()
@@ -41,6 +42,7 @@ class Simulator:
             htab_ptes_per_group=htab_ptes_per_group,
             ram_bytes=ram_bytes,
             cache_ptes=self.config.cache_page_tables,
+            n_cpus=n_cpus,
         )
         self.kernel = Kernel(self.machine, self.config)
         self.executive = Executive(self.kernel)
@@ -63,6 +65,11 @@ class Simulator:
     @property
     def cycles(self) -> int:
         return self.machine.clock.total
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles summed over every CPU (== ``cycles`` with one CPU)."""
+        return self.machine.total_cycles_all_cpus()
 
     def elapsed_us(self) -> float:
         return self.spec.cycles_to_us(self.cycles)
@@ -101,6 +108,7 @@ def boot(
     trace: bool = False,
     profile: bool = False,
     sample_every_us: Optional[float] = None,
+    n_cpus: int = 1,
 ) -> Simulator:
     """Convenience constructor used throughout tests and benchmarks.
 
@@ -115,4 +123,5 @@ def boot(
         trace=trace,
         profile=profile,
         sample_every_us=sample_every_us,
+        n_cpus=n_cpus,
     )

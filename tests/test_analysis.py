@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.analysis import experiments
+from repro.analysis import engine, specs
+from repro.analysis.spec import experiment_sort_key
 from repro.analysis.tables import format_table, ratio_line
 
 
@@ -27,31 +28,31 @@ class TestFormatTable:
 
 
 class TestRegistry:
-    def test_all_sixteen_experiments_registered(self):
-        assert sorted(experiments.REGISTRY) == sorted(
-            f"E{i}" for i in range(1, 17)
+    def test_all_nineteen_experiments_registered(self):
+        assert sorted(specs.SPECS) == sorted(
+            f"E{i}" for i in range(1, 20)
         )
 
     def test_sort_key_orders_numerically(self):
-        ordered = sorted(
-            experiments.REGISTRY, key=experiments._experiment_sort_key
-        )
+        ordered = sorted(specs.SPECS, key=experiment_sort_key)
         assert ordered[0] == "E1"
-        assert ordered[-1] == "E16"
+        assert ordered[-1] == "E19"
 
     def test_e1_runs_and_reports(self):
-        result = experiments.run_e1()
+        result = engine.execute(specs.SPECS["E1"])
         assert result.experiment == "E1"
         assert result.shape_holds
         assert "Figure 1" in result.report
         assert result.measured["va_bits"] <= 52
 
     def test_e1_custom_address(self):
-        result = experiments.run_e1(ea=0xC0000ABC, vsid=1)
+        result = engine.execute(
+            specs.SPECS["E1"], {"ea": 0xC0000ABC, "vsid": 1}
+        )
         assert result.measured["segment"] == 12
         assert result.measured["offset"] == 0xABC
 
-    def test_run_all_subset(self):
-        results = experiments.run_all(ids=["E1"])
-        assert len(results) == 1
-        assert results[0].experiment == "E1"
+    def test_run_ids_subset(self):
+        run = engine.run_ids(["E1"], use_cache=False)
+        assert len(run.results) == 1
+        assert run.results[0].experiment == "E1"

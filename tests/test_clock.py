@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.clock import CycleLedger
+from repro.hw.clock import CycleLedger
 
 
 class TestLedger:

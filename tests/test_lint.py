@@ -191,7 +191,7 @@ class TestLayering:
 
     def test_kernel_importing_sim_flagged(self, tmp_path):
         result = run_lint(tmp_path, {"kernel/a.py": """\
-            import repro.sim.clock
+            import repro.sim.process
         """}, rules=single_rule("layering"))
         assert [f.line for f in result.findings] == [1]
 
@@ -207,6 +207,34 @@ class TestLayering:
             "__main__.py": "from repro.lint import cli\n",
         }, rules=single_rule("layering"))
         assert [f.path for f in result.findings] == ["obs/a.py"]
+
+
+# -- deleted shims -----------------------------------------------------------
+
+
+class TestShimImport:
+    def test_sim_clock_shim_flagged(self, tmp_path):
+        result = run_lint(tmp_path, {"analysis/a.py": """\
+            import repro.sim.clock
+        """}, rules=single_rule("no-shim-import"))
+        (finding,) = result.findings
+        assert (finding.rule, finding.line) == ("no-shim-import", 1)
+        assert "repro.hw.clock" in finding.message
+
+    def test_experiments_shim_from_import_flagged(self, tmp_path):
+        result = run_lint(tmp_path, {"obs/a.py": """\
+            from repro.analysis.experiments import SPECS
+        """}, rules=single_rule("no-shim-import"))
+        (finding,) = result.findings
+        assert "repro.analysis.specs" in finding.message
+
+    def test_canonical_imports_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"analysis/a.py": """\
+            from repro.hw.clock import CycleLedger
+            from repro.analysis import specs
+            from repro.sim.process import Executive
+        """}, rules=single_rule("no-shim-import"))
+        assert result.findings == []
 
 
 # -- zero perturbation -------------------------------------------------------

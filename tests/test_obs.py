@@ -18,7 +18,7 @@ import pytest
 
 from repro import __main__ as cli
 from repro import obs
-from repro.analysis import experiments
+from repro.analysis import engine, specs
 from repro.kernel.config import KernelConfig
 from repro.obs import metrics
 from repro.obs import session as obs_session
@@ -221,16 +221,17 @@ class TestGlobalObservability:
 class TestObservedExperiments:
     """Experiment-level parity: the ISSUE's acceptance matrix."""
 
-    @pytest.mark.parametrize("runner,kwargs", [
-        (experiments.run_e2, {"units": 2}),
-        (experiments.run_e6, {}),
-        (experiments.run_e7, {"rounds": 60}),
+    @pytest.mark.parametrize("experiment_id,params", [
+        ("E2", {"units": 2}),
+        ("E6", None),
+        ("E7", {"rounds": 60}),
     ], ids=["E2", "E6", "E7"])
-    def test_traced_run_bit_identical(self, runner, kwargs):
+    def test_traced_run_bit_identical(self, experiment_id, params):
+        spec = specs.SPECS[experiment_id]
         baseline = []
         obs.enable_global_observability(profile=True)
         try:
-            bare = runner(**kwargs)
+            bare = engine.execute(spec, params)
             baseline = [
                 (o.machine.spec.name, o.machine.clock.total, o.counters())
                 for o in obs.drain_global_observed()
@@ -240,7 +241,7 @@ class TestObservedExperiments:
         obs.enable_global_observability(profile=True, trace=True,
                                         sample_every_us=500)
         try:
-            traced = runner(**kwargs)
+            traced = engine.execute(spec, params)
             watched = [
                 (o.machine.spec.name, o.machine.clock.total, o.counters())
                 for o in obs.drain_global_observed()
@@ -301,10 +302,10 @@ class TestMetrics:
 
 class TestSortedIds:
     def test_numeric_order(self):
-        ids = experiments.sorted_ids()
+        ids = specs.sorted_ids()
         assert ids[0] == "E1"
         assert ids == sorted(ids, key=lambda i: int(i[1:]))
-        assert set(ids) == set(experiments.REGISTRY)
+        assert set(ids) == set(specs.SPECS)
 
 
 class TestCli:

@@ -19,8 +19,8 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.errors import SyscallError, TranslationError
 from repro.hw.hashtable import primary_hash, secondary_hash
-from repro.kernel.config import KernelConfig, VsidPolicy
-from repro.params import M604_185, PAGE_SIZE
+from repro.kernel.config import KernelConfig, ShootdownStrategy, VsidPolicy
+from repro.params import KERNELBASE, M604_185, PAGE_SIZE
 from repro.sim.simulator import Simulator
 
 CONFIGS = {
@@ -248,3 +248,226 @@ class TestGeometryIndependence:
             sim.kernel.idle_task._reclaim_chunk()
         assert sim.sanitizer.violations == 0, sim.sanitizer.reporter
         assert sim.sanitizer.sweep(stable=True) == 0, sim.sanitizer.reporter
+
+
+# -- SMP shootdown coherence -------------------------------------------------
+
+#: Below the optimized config's 20-page range-flush cutoff so every
+#: munmap takes the per-page search path and feeds the shootdown queue.
+SMP_ARENA_PAGES = 12
+
+
+class _SmpModel:
+    """Several tasks pinned round-robin over N CPUs, driven from
+    arbitrary CPUs so flushes race remote TLB contents."""
+
+    def __init__(self, n_cpus, strategy):
+        config = KernelConfig.optimized().with_changes(
+            shootdown_strategy=strategy
+        )
+        self.sim = Simulator(
+            M604_185, config, n_cpus=n_cpus, sanitize=True
+        )
+        self.kernel = self.sim.kernel
+        self.machine = self.sim.machine
+        self.tasks = [
+            self.kernel.spawn(f"t{i}", data_pages=2)
+            for i in range(2 * n_cpus)
+        ]
+        self.arenas = {}
+        for task in self.tasks:
+            self.run_on(task)
+            self.arenas[task.pid] = self.kernel.sys_mmap(
+                task, SMP_ARENA_PAGES * PAGE_SIZE
+            )
+
+    def run_on(self, task):
+        self.machine.set_current_cpu(task.cpu)
+        if self.kernel.current_task is not task:
+            self.kernel.switch_to(task)
+
+    def do_touch(self, slot, page, write):
+        task = self.tasks[slot % len(self.tasks)]
+        self.run_on(task)
+        ea = self.arenas[task.pid] + page * PAGE_SIZE
+        self.kernel.user_access(task, ea, 1, write)
+
+    def do_remap(self, slot):
+        task = self.tasks[slot % len(self.tasks)]
+        self.run_on(task)
+        self.kernel.sys_munmap(
+            task, self.arenas[task.pid], SMP_ARENA_PAGES * PAGE_SIZE
+        )
+        self.arenas[task.pid] = self.kernel.sys_mmap(
+            task, SMP_ARENA_PAGES * PAGE_SIZE
+        )
+
+    def do_ctxsw(self, cpu):
+        cpu %= self.machine.n_cpus
+        peers = [t for t in self.tasks if t.cpu == cpu]
+        self.machine.set_current_cpu(cpu)
+        current = self.kernel.current_task
+        for task in peers:
+            if task is not current:
+                self.kernel.switch_to(task)
+                return
+
+    def do_flush_mm(self, acting_cpu, slot):
+        # Flushing from a *different* CPU than the one that owns the
+        # task is the cross-CPU case the shootdown protocol exists for.
+        task = self.tasks[slot % len(self.tasks)]
+        self.machine.set_current_cpu(acting_cpu % self.machine.n_cpus)
+        self.kernel.flush.flush_mm(task.mm)
+
+
+smp_steps = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("touch"),
+            st.integers(0, 7),
+            st.integers(0, SMP_ARENA_PAGES - 1),
+            st.booleans(),
+        ),
+        st.tuples(st.just("remap"), st.integers(0, 7)),
+        st.tuples(st.just("ctxsw"), st.integers(0, 3)),
+        st.tuples(st.just("flushmm"), st.integers(0, 3),
+                  st.integers(0, 7)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestSmpShootdownCoherence:
+    """No interleaving of faults, flushes and context switches across
+    CPUs lets any CPU translate through a PTE another CPU invalidated.
+
+    The sanitizer's differential check runs on every translation with
+    the shootdown-coherence invariant armed, so a stale remote TLB entry
+    that ever *serves* a translation fails immediately; the final stable
+    sweep additionally proves no such entry is still latent."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        plan=smp_steps,
+        n_cpus=st.sampled_from([2, 3, 4]),
+        strategy=st.sampled_from(sorted(ShootdownStrategy,
+                                        key=lambda s: s.value)),
+    )
+    def test_no_interleaving_violates_shootdown_coherence(
+        self, plan, n_cpus, strategy
+    ):
+        model = _SmpModel(n_cpus, strategy)
+        for step in plan:
+            if step[0] == "touch":
+                model.do_touch(step[1], step[2], step[3])
+            elif step[0] == "remap":
+                model.do_remap(step[1])
+            elif step[0] == "ctxsw":
+                model.do_ctxsw(step[1])
+            elif step[0] == "flushmm":
+                model.do_flush_mm(step[1], step[2])
+        sanitizer = model.sim.sanitizer
+        assert sanitizer.violations == 0, sanitizer.reporter
+        assert sanitizer.sweep(stable=True) == 0, sanitizer.reporter
+
+    @pytest.mark.parametrize(
+        "strategy", sorted(ShootdownStrategy, key=lambda s: s.value)
+    )
+    def test_kernel_page_flush_is_eager_broadcast(self, strategy):
+        # Kernel translations are live on every CPU the instant the
+        # flush returns, so no strategy may defer or skip them.
+        config = KernelConfig.optimized().with_changes(
+            bat_kernel_map=False, shootdown_strategy=strategy
+        )
+        sim = Simulator(M604_185, config, n_cpus=2, sanitize=True)
+        ea = KERNELBASE + 0x300000
+        sim.machine.translate(ea)
+        sim.kernel.flush.flush_page(sim.kernel.kernel_mm, ea)
+        totals = sim.machine.monitor_totals()
+        assert totals.get("ipi_sent", 0) == 1
+        assert totals.get("ipi_received", 0) == 1
+        assert totals.get("shootdown_deferred", 0) == 0
+        assert sim.sanitizer.violations == 0, sim.sanitizer.reporter
+
+
+class TestSmpSingleCpuExactness:
+    """``n_cpus=1`` is the pre-refactor machine, bit for bit.
+
+    The totals, ledger breakdown and monitor counters below were
+    captured on the single-CPU tree immediately before the SMP refactor
+    (commit 3fa6c91) for a deterministic three-process mixed workload;
+    the refactored code must reproduce every number exactly."""
+
+    GOLDENS = {
+        "604-unopt": {
+            "cycles": 1562546,
+            "breakdown": {
+                "context_switch": 127344, "fault": 94500,
+                "flush": 50121, "mem": 35464, "palloc": 1024432,
+                "sched": 2520, "syscall": 48900, "tlb_reload": 179265,
+            },
+            "counters": {
+                "context_switch": 42, "dcache_miss": 740,
+                "dtlb_miss": 258, "flush_range_search": 12,
+                "hash_miss_interrupt": 129, "htab_hit": 144,
+                "htab_miss": 129, "htab_reload": 129,
+                "htab_search": 273, "icache_miss": 85,
+                "itlb_miss": 15, "page_fault_minor": 105,
+                "syscall": 12,
+            },
+        },
+        "604-opt": {
+            "cycles": 1227174,
+            "breakdown": {
+                "context_switch": 21792, "fault": 27300, "flush": 504,
+                "mem": 35190, "palloc": 1025156, "sched": 2520,
+                "syscall": 25140, "tlb_reload": 89572,
+            },
+            "counters": {
+                "bat_translation": 837, "context_switch": 42,
+                "dcache_miss": 736, "dtlb_miss": 243,
+                "flush_range_lazy": 9, "hash_miss_interrupt": 105,
+                "htab_hit": 138, "htab_miss": 105, "htab_reload": 105,
+                "htab_search": 243, "icache_miss": 85,
+                "page_fault_minor": 105, "syscall": 12,
+                "vsid_bump": 9,
+            },
+        },
+    }
+
+    @staticmethod
+    def _body(rounds, mmap_pages):
+        def gen(t):
+            addr = yield ("mmap", mmap_pages * PAGE_SIZE, None, None)
+            for r in range(rounds):
+                yield ("touch", addr + (r % mmap_pages) * PAGE_SIZE,
+                       8, True)
+                yield ("touch",
+                       0x10000000 + (r % 4) * PAGE_SIZE, 4, True)
+                if r % 3 == 2:
+                    yield ("yield",)
+            yield ("munmap", addr, mmap_pages * PAGE_SIZE)
+            addr2 = yield ("mmap", mmap_pages * PAGE_SIZE, None, None)
+            yield ("touch", addr2, 8, True)
+            yield ("exit", 0)
+        return gen
+
+    @pytest.mark.parametrize("name,config", [
+        ("604-unopt", KernelConfig.unoptimized()),
+        ("604-opt", KernelConfig.optimized()),
+    ])
+    def test_bit_identical_to_pre_refactor_goldens(self, name, config):
+        sim = Simulator(M604_185, config, sanitize=True)
+        for i in range(3):
+            sim.executive.spawn(f"w{i}", self._body(40, 30))
+        sim.run()
+        golden = self.GOLDENS[name]
+        assert sim.machine.clock.total == golden["cycles"]
+        assert dict(sim.machine.clock.breakdown()) == golden["breakdown"]
+        assert dict(sim.machine.monitor.snapshot()) == golden["counters"]
+        assert sim.sanitizer.violations == 0
