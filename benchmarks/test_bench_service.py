@@ -1,0 +1,49 @@
+"""E20/E21 — request-level telemetry: open-loop SLO and capacity curves.
+
+Extension beyond the paper: the §7 zombie economics measured
+request-side.  A seeded open-loop arrival schedule drives per-request
+exec churn (one short-lived mm context per request under the lazy
+kernel) across the 2-CPU executive; latency clocks start at the
+*scheduled* arrival, so saturation lands in the percentiles instead of
+stretching the schedule (coordinated omission).  Expected shape: every
+request completes, percentiles are ordered, zombies accrue under every
+lazy strategy (deepest under mmap-reuse, which skips munmap flushes),
+and the capacity ladder crosses a p99 knee where throughput saturates
+below the offered load.
+"""
+
+from conftest import run_spec
+
+
+def test_service_slo_at_knee(benchmark, record_report):
+    result = run_spec(benchmark, "E20")
+    record_report(result)
+    assert result.shape_holds
+    rows = result.measured["rows"]
+    broadcast, reuse = rows["broadcast"], rows["mmap_reuse"]
+    for row in (broadcast, reuse):
+        # Open loop: the offered schedule was fully served ...
+        assert row["completed"] == row["requests"]
+        slo = row["slo"]
+        # ... and the tail is a real distribution, not a constant.
+        assert slo["latency_p50_us"] <= slo["latency_p99_us"]
+        assert slo["latency_p99_us"] <= slo["latency_p999_us"]
+        # Per-request exec churn leaves zombie entries behind.
+        assert row["zombie_peak"] > 0
+    # Skipped munmap flushes deepen the zombie backlog.
+    assert reuse["zombie_peak"] > broadcast["zombie_peak"]
+
+
+def test_service_capacity_curves(benchmark, record_report):
+    result = run_spec(benchmark, "E21")
+    record_report(result)
+    assert result.shape_holds
+    doc = result.measured["capacity"]
+    assert doc["loads"] == sorted(doc["loads"])
+    for curve in doc["curves"]:
+        base, top = curve["points"][0], curve["points"][-1]
+        # The knee: the open-loop tail explodes past capacity while
+        # the completion rate stops tracking the offered rate.
+        assert top["latency_p99_us"] > 3 * base["latency_p99_us"]
+        assert top["throughput_per_s"] < top["offered_per_s"]
+        assert top["zombie_peak"] > base["zombie_peak"]

@@ -30,9 +30,13 @@ Subcommands:
 * ``trend`` — per-PR deltas over the history ledger: exact cycle
   movers, per-category movers, policy-banded wall times
   (``--json`` for the machine-readable trend document).
+* ``capacity`` — sweep offered load across flush/shootdown strategies
+  with the open-loop service workload and print the throughput-vs-p99
+  capacity table (``--json``/``--out`` for the machine-readable
+  document).
 * ``report --out report.html`` — render the observatory dashboard (a
   deterministic, self-contained HTML file; ``--history`` adds the
-  trend section).
+  trend section, ``--capacity`` the capacity curves).
 * ``lint [paths...]`` — run the domain-aware static analysis over the
   package (``--list-rules`` for the rule catalog).
 * ``table1`` / ``table2`` / ``table3`` — shortcuts for the paper's tables.
@@ -474,6 +478,34 @@ def _cmd_trend(args) -> int:
     return 0
 
 
+def _cmd_capacity(args) -> int:
+    from repro.analysis import capacity as cap
+    from repro.obs import metrics
+
+    try:
+        doc = cap.capacity_sweep(
+            loads=args.loads or cap.DEFAULT_LOADS,
+            strategies=args.strategies or cap.DEFAULT_STRATEGIES,
+            n_cpus=args.cpus,
+            requests=args.requests,
+            seed=args.seed,
+            schedule=args.schedule,
+        )
+        cap.validate_capacity_doc(doc)
+    except ValueError as exc:
+        print(f"capacity: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(metrics.dumps(doc))
+        print(f"capacity -> {args.out}", file=sys.stderr)
+    if args.json:
+        print(metrics.dumps(doc), end="")
+    else:
+        print(cap.render_capacity(doc), end="")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.obs import metrics
     from repro.obs import report as obs_report
@@ -521,7 +553,21 @@ def _cmd_report(args) -> int:
         except (OSError, ValueError) as exc:
             print(f"report: {args.history}: {exc}", file=sys.stderr)
             return 2
-    html = obs_report.render_report(doc, title=args.title, trend=trend_doc)
+    capacity_doc = None
+    if args.capacity:
+        import json as json_module
+
+        from repro.analysis import capacity as cap
+
+        try:
+            with open(args.capacity) as handle:
+                capacity_doc = json_module.load(handle)
+            cap.validate_capacity_doc(capacity_doc)
+        except (OSError, ValueError) as exc:
+            print(f"report: {args.capacity}: {exc}", file=sys.stderr)
+            return 2
+    html = obs_report.render_report(doc, title=args.title, trend=trend_doc,
+                                    capacity=capacity_doc)
     with open(args.out, "w") as handle:
         handle.write(html)
     print(f"report -> {args.out} ({len(html)} bytes, "
@@ -751,6 +797,47 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="print the machine-readable trend document",
     )
+    cap = sub.add_parser(
+        "capacity",
+        help="sweep offered load per flush strategy (capacity curves)",
+    )
+    cap.add_argument(
+        "--loads", type=float, nargs="+", metavar="REQ_PER_S",
+        default=None,
+        help="offered-load ladder in requests per simulated second, "
+             "monotone ascending (default: 2000 6000 12000)",
+    )
+    cap.add_argument(
+        "--strategies", nargs="+", metavar="NAME", default=None,
+        help="shootdown strategies to sweep (default: broadcast "
+             "mmap_reuse)",
+    )
+    cap.add_argument(
+        "--requests", type=int, default=120, metavar="N",
+        help="requests per sweep point (default 120)",
+    )
+    cap.add_argument(
+        "--seed", type=int, default=20, metavar="SEED",
+        help="arrival-schedule seed (default 20)",
+    )
+    cap.add_argument(
+        "--schedule", default="exponential", metavar="KIND",
+        choices=("exponential", "uniform", "burst"),
+        help="interarrival schedule kind (default exponential)",
+    )
+    cap.add_argument(
+        "--cpus", type=int, default=2, metavar="N",
+        help="CPUs in the simulated machine (default 2)",
+    )
+    cap.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable capacity document",
+    )
+    cap.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the capacity document to FILE (feeds "
+             "'report --capacity')",
+    )
     rpt = sub.add_parser(
         "report", help="render the observatory dashboard HTML"
     )
@@ -776,6 +863,11 @@ def main(argv=None) -> int:
         "--history", default=None, metavar="FILE",
         help="history ledger; adds the perf-trajectory section "
              "(sparklines + latest per-PR deltas) to the dashboard",
+    )
+    rpt.add_argument(
+        "--capacity", default=None, metavar="FILE",
+        help="capacity document (from 'capacity --out'); adds the "
+             "throughput-vs-p99 capacity-curve section",
     )
     rpt.add_argument("--out", default="report.html", metavar="FILE",
                      help="output HTML path (default report.html)")
@@ -858,6 +950,8 @@ def main(argv=None) -> int:
         return _cmd_bench(args)
     if args.command == "trend":
         return _cmd_trend(args)
+    if args.command == "capacity":
+        return _cmd_capacity(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "lint":

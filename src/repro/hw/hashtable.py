@@ -34,7 +34,7 @@ cache accesses in one batched run per bucket.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigError
 from repro.hw.pte import HashPte, WIMG_CACHE_INHIBIT, pte_api
@@ -640,6 +640,45 @@ class HashedPageTable:
             if vsid_is_live(vsid):
                 live += count
         return live, self._valid_total - live
+
+    def top_vsid_loads(
+        self, k: int, vsid_is_live: Callable[[int], bool]
+    ) -> Dict[str, Any]:
+        """Bounded per-VSID population: top-``k`` plus a bucketed rest.
+
+        Service-scale runs churn thousands of VSIDs; emitting the full
+        per-VSID map every sampler tick would make trace records
+        O(distinct VSIDs).  This folds the incrementally-maintained
+        population into the ``k`` heaviest VSIDs (count-descending,
+        VSID-ascending on ties, so the pick is deterministic) and one
+        aggregate remainder bucket.  Counter-free, like :meth:`peek`.
+        """
+        ranked = sorted(
+            self._vsid_valid.items(),
+            key=lambda item: (-item[1], item[0]),
+        )
+        top = [
+            {
+                "vsid": vsid,
+                "entries": count,
+                "live": vsid_is_live(vsid),
+            }
+            for vsid, count in ranked[:k]
+        ]
+        rest_entries = 0
+        rest_zombie = 0
+        for vsid, count in ranked[k:]:
+            rest_entries += count
+            if not vsid_is_live(vsid):
+                rest_zombie += count
+        return {
+            "top": top,
+            "rest": {
+                "vsids": max(len(ranked) - k, 0),
+                "entries": rest_entries,
+                "zombie_entries": rest_zombie,
+            },
+        }
 
     def live_zombie_histogram(
         self, vsid_is_live: Callable[[int], bool]

@@ -644,6 +644,8 @@ class ObservatoryClosureRule(ProjectRule):
     HOSTPROF = "obs/hostprof.py"
     TAXONOMY = "obs/profiler.py"
     EVENTS = "obs/events.py"
+    REPORT = "obs/report.py"
+    CAPACITY = "analysis/capacity.py"
     FALLBACK = "other"
 
     def check_project(
@@ -653,6 +655,7 @@ class ObservatoryClosureRule(ProjectRule):
         event_names = self._registered_events(contexts)
         self._check_history_fields(contexts, report)
         self._check_trend(contexts, categories, report)
+        self._check_capacity(contexts, report)
         self._check_flame(contexts, categories, event_names, report)
         self._check_hostprof(contexts, report)
 
@@ -757,6 +760,42 @@ class ObservatoryClosureRule(ProjectRule):
                     f"trend headline column {name!r} is not in "
                     f"HEADLINE_FIELDS of {self.HISTORY}; the ledger "
                     "never records it",
+                )
+
+    def _check_capacity(
+        self, contexts: List[FileContext], report: ProjectReport
+    ) -> None:
+        """Dashboard capacity columns ⊆ recorded sweep point fields."""
+        report_ctx = _find_context(contexts, self.REPORT)
+        if report_ctx is None:
+            return
+        columns = _tuple_literal(report_ctx.tree, "CAPACITY_COLUMNS")
+        if columns is None:
+            report(
+                report_ctx, report_ctx.tree,
+                "CAPACITY_COLUMNS in obs/report.py must be a literal "
+                "tuple of capacity column names",
+            )
+            return
+        capacity_ctx = _find_context(contexts, self.CAPACITY)
+        if capacity_ctx is None:
+            return
+        fields = _tuple_literal(capacity_ctx.tree, "CAPACITY_POINT_FIELDS")
+        if fields is None:
+            report(
+                capacity_ctx, capacity_ctx.tree,
+                "CAPACITY_POINT_FIELDS in analysis/capacity.py must be "
+                "a literal tuple of sweep point field names",
+            )
+            return
+        known = {name for name, _node in fields}
+        for name, node in columns:
+            if name not in known:
+                report(
+                    report_ctx, node,
+                    f"capacity dashboard column {name!r} is not in "
+                    f"CAPACITY_POINT_FIELDS of {self.CAPACITY}; the "
+                    "sweep never records it",
                 )
 
     def _check_flame(

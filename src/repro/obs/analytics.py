@@ -55,6 +55,8 @@ SPAN_EVENTS: Tuple[str, ...] = (
     "idle-window",
     "page-fault",
     "shootdown-drain",
+    "req-queue",
+    "req-run",
 )
 
 #: Tracer instant names whose occurrence counts are derived.  The
@@ -68,6 +70,9 @@ INSTANT_EVENTS: Tuple[str, ...] = (
     "pipe-close",
     "preclear-page",
     "ipi",
+    "req-arrival",
+    "req-dispatch",
+    "req-complete",
 )
 
 #: Chrome counter tracks whose sample counts are derived.
@@ -75,6 +80,8 @@ COUNTER_TRACKS: Tuple[str, ...] = (
     "htab",
     "occupancy",
     "monitor",
+    "queue-depth",
+    "vsids",
 )
 
 #: Hardware-monitor counters whose end-of-run totals feed the
@@ -134,6 +141,7 @@ CATEGORY_SPANS: Dict[str, Tuple[str, ...]] = {
     "scheduling": (),
     "io": (),
     "kernel-mm": (),
+    "service": ("req-queue", "req-run"),
     "other": (),
 }
 
@@ -143,6 +151,11 @@ RELOAD_SPANS: Tuple[str, ...] = ("hw-walk", "sw-refill", "scavenge-burst")
 
 #: Percentiles reported for every span distribution.
 PERCENTILES: Tuple[int, ...] = (50, 90, 99)
+
+#: Permille quantiles reported for open-loop request latencies — the
+#: SLO block's p50/p90/p99/p99.9 ladder (999 = p99.9, finer than the
+#: integer-percent grid the span stats use).
+SLO_PERMILLES: Tuple[int, ...] = (500, 900, 990, 999)
 
 #: Maximum points kept in a downsampled timeline series (enough for an
 #: SVG polyline; keeps derived blocks small for 10k-sample runs).
@@ -155,10 +168,26 @@ HISTOGRAM_BARS = 64
 
 def percentile(sorted_values: Sequence[int], q: int) -> int:
     """Nearest-rank percentile of an ascending-sorted sequence."""
+    return percentile_permille(sorted_values, q * 10)
+
+
+def percentile_permille(sorted_values: Sequence[int], permille: int) -> int:
+    """Nearest-rank quantile at permille resolution (999 = p99.9).
+
+    The SLO ladder needs p99.9, which the integer-percent grid cannot
+    express; same ceil-without-floats rank rule as :func:`percentile`.
+    """
     if not sorted_values:
         return 0
-    rank = max(1, -(-q * len(sorted_values) // 100))  # ceil without floats
+    rank = max(1, -(-permille * len(sorted_values) // 1000))
     return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def permille_label(permille: int) -> str:
+    """500 -> 'p50', 990 -> 'p99', 999 -> 'p999' (SLO block keys)."""
+    if permille % 10 == 0:
+        return f"p{permille // 10}"
+    return f"p{permille}"
 
 
 def span_stats(durations: Sequence[int]) -> Dict[str, object]:
@@ -327,6 +356,74 @@ def _trace_blocks(tracers: Iterable[Any]) -> Dict[str, Dict[str, object]]:
     return out
 
 
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation over paired samples (0.0 when degenerate)."""
+    n = min(len(xs), len(ys))
+    if n < 2:
+        return 0.0
+    xs = list(xs[:n])
+    ys = list(ys[:n])
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y) ** 0.5
+
+
+def _service_block(tracers: Iterable[Any]) -> Optional[Dict[str, object]]:
+    """The SLO section: open-loop latency quantiles from the request
+    life-cycle events, the queue-depth curve, and the correlation of
+    queue pressure against the sampler's zombie-occupancy track."""
+    latencies: List[int] = []
+    depth_series: List[int] = []
+    zombie_series: List[int] = []
+    arrivals = dispatches = 0
+    for tracer in tracers:
+        for _ts, _dur, ph, _category, name, _tid, args in tracer.events:
+            if ph == PH_INSTANT:
+                if name == "req-complete" and args:
+                    latencies.append(args.get("latency", 0))
+                elif name == "req-arrival":
+                    arrivals += 1
+                elif name == "req-dispatch":
+                    dispatches += 1
+            elif ph == PH_COUNTER and args:
+                if name == "queue-depth":
+                    depth_series.append(args.get("pending", 0))
+                elif name == "htab":
+                    zombie_series.append(args.get("zombie", 0))
+    if not latencies and not depth_series:
+        return None
+    latencies.sort()
+    quantiles = {
+        permille_label(permille): percentile_permille(latencies, permille)
+        for permille in SLO_PERMILLES
+    }
+    block: Dict[str, object] = {
+        "requests": len(latencies),
+        "arrivals": arrivals,
+        "dispatches": dispatches,
+        "latency_cycles": quantiles,
+        "queue_depth": series_stats(depth_series),
+    }
+    # Queue pressure vs zombie occupancy: both curves downsampled onto
+    # a common grid before correlating (they tick at different rates —
+    # arrivals vs sampler boundaries).
+    if depth_series and zombie_series:
+        points = min(len(depth_series), len(zombie_series),
+                     TIMELINE_POINTS)
+        block["zombie_queue_correlation"] = round(
+            pearson(
+                downsample(depth_series, points),
+                downsample(zombie_series, points),
+            ), 6
+        )
+    return block
+
+
 def _timeline_block(samplers: Iterable[Any]) -> Optional[Dict[str, object]]:
     """Occupancy/zombie trajectory statistics from the sampled series."""
     sampled = [s for s in samplers if s.samples]
@@ -392,6 +489,9 @@ def derive(observed: Sequence[Any]) -> Dict[str, object]:
     tracers = [obs.tracer for obs in observed if obs.tracer is not None]
     if tracers:
         out.update(_trace_blocks(tracers))
+        service = _service_block(tracers)
+        if service is not None:
+            out["service"] = service
     timeline = _timeline_block(
         [obs.sampler for obs in observed if obs.sampler is not None]
     )

@@ -45,6 +45,8 @@ EVENT_NAMES: Dict[str, str] = {
     "idle-window": "one scheduling of the idle task",
     "page-fault": "demand fault handled (major or minor)",
     "shootdown-drain": "deferred remote TLB invalidations drained at ctxsw",
+    "req-queue": "service request waiting in its CPU's dispatch queue",
+    "req-run": "service request executing (exec/map/touch/compute)",
     # -- tracer instants (Chrome "i" events) ----------------------------
     "syscall:*": "syscall entry, suffixed with the syscall name",
     "ctxsw": "context switch committed to a task",
@@ -54,10 +56,15 @@ EVENT_NAMES: Dict[str, str] = {
     "pipe-close": "pipe endpoint closed",
     "preclear-page": "idle task pre-cleared one free page (section 9)",
     "ipi": "inter-processor interrupt round for a TLB shootdown",
+    "req-arrival": "open-loop request accepted onto a dispatch queue",
+    "req-dispatch": "service request picked up by a worker",
+    "req-complete": "service request finished, open-loop latency known",
     # -- tracer counter tracks (Chrome "C" events) ----------------------
     "htab": "hash-table live/zombie occupancy curve",
     "occupancy": "hash-table valid-entry curve",
     "monitor": "selected hardware-monitor counter curves",
+    "queue-depth": "pending service requests per dispatch queue",
+    "vsids": "bounded top-K per-VSID hash-table population summary",
     # -- hardware-monitor counters (republished as instants when the
     # -- tracer's monitor filter selects them) --------------------------
     "itlb_miss": "instruction TLB miss",

@@ -45,6 +45,8 @@ SPAN_CATEGORY: Dict[str, str] = {
     "reclaim-chunk": "idle",
     "idle-window": "idle",
     "page-fault": "fault",
+    "req-queue": "service",
+    "req-run": "service",
 }
 
 

@@ -47,13 +47,16 @@ PATH_CATEGORIES: Dict[str, str] = {
     "io_wait": "io",
     # Page allocator work outside the idle task.
     "palloc": "kernel-mm",
+    # Request-serving runtime bookkeeping (queue accept/dispatch).
+    "service": "service",
 }
 
 #: Stable display order for rendered breakdowns (largest concerns of the
 #: paper first); categories absent from a run are skipped.
 DISPLAY_ORDER = (
     "user-compute", "memory", "tlb-reload", "flush", "shootdown", "idle",
-    "syscall", "fault", "scheduling", "io", "kernel-mm", "other",
+    "syscall", "fault", "scheduling", "io", "kernel-mm", "service",
+    "other",
 )
 
 

@@ -38,8 +38,24 @@ CATEGORY_COLORS = {
     "scheduling": "#ff9da7",
     "io": "#9c755f",
     "kernel-mm": "#bab0ac",
+    "shootdown": "#d37295",
+    "service": "#86bcb6",
     "other": "#d4d4d4",
 }
+
+#: Columns of the capacity-curve table, in display order.  Literal
+#: tuple — the observatory-closure pass checks every column is a
+#: recorded CAPACITY_POINT_FIELDS field of ``analysis/capacity.py``.
+CAPACITY_COLUMNS = (
+    "offered_per_s",
+    "throughput_per_s",
+    "latency_p50_us",
+    "latency_p99_us",
+    "latency_p999_us",
+    "queue_depth_max",
+    "zombie_peak",
+    "zombie_queue_correlation",
+)
 
 _CSS = """
 body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
@@ -449,13 +465,81 @@ def _trend_section(trend: Dict) -> str:
     return "".join(parts)
 
 
+_CAPACITY_TITLES = {
+    "offered_per_s": "offered/s",
+    "throughput_per_s": "throughput/s",
+    "latency_p50_us": "p50 (µs)",
+    "latency_p99_us": "p99 (µs)",
+    "latency_p999_us": "p99.9 (µs)",
+    "queue_depth_max": "queue max",
+    "zombie_peak": "zombie peak",
+    "zombie_queue_correlation": "zombie↔queue r",
+}
+
+
+def _capacity_section(capacity: Dict) -> str:
+    """The request-level capacity curves: one table + p99 sparklines.
+
+    ``capacity`` is a :func:`repro.analysis.capacity.capacity_sweep`
+    document; the section is a pure function of it, so the dashboard
+    stays byte-deterministic.
+    """
+    curves = capacity.get("curves", [])
+    if not curves:
+        return ""
+    parts = [
+        '<h2 id="capacity">capacity curves '
+        "(open-loop service telemetry)</h2>",
+        f'<p class="meta">{_esc(capacity.get("machine", "?"))} &middot; '
+        f"{_fmt(capacity.get('n_cpus', 0))} CPU(s) &middot; "
+        f"{_fmt(capacity.get('requests', 0))} requests/point &middot; "
+        f"{_esc(capacity.get('schedule', '?'))} arrivals, seed "
+        f"{_fmt(capacity.get('seed', 0))} &middot; latency measured "
+        "from the <em>scheduled</em> arrival (open-loop, no "
+        "coordinated omission)</p>",
+    ]
+    rows = ["<table><tr><th>strategy</th>"]
+    rows += [
+        f"<th>{_esc(_CAPACITY_TITLES.get(column, column))}</th>"
+        for column in CAPACITY_COLUMNS
+    ]
+    rows.append("</tr>")
+    for curve in curves:
+        for point in curve.get("points", []):
+            rows.append(f"<tr><td>{_esc(curve.get('strategy', '?'))}</td>")
+            rows += [
+                f"<td>{_fmt(point.get(column, ''))}</td>"
+                for column in CAPACITY_COLUMNS
+            ]
+            rows.append("</tr>")
+    rows.append("</table>")
+    parts.append("".join(rows))
+    spark = ["<table><tr><th>strategy</th><th>p99 vs offered load</th>"
+             "<th>throughput vs offered load</th></tr>"]
+    for curve in curves:
+        points = curve.get("points", [])
+        spark.append(
+            f"<tr><td>{_esc(curve.get('strategy', '?'))}</td>"
+            f"<td>{_svg_sparkline([p.get('latency_p99_us') for p in points], color='#c0392b')}</td>"
+            f"<td>{_svg_sparkline([p.get('throughput_per_s') for p in points], color='#2a9d4a')}</td>"
+            "</tr>"
+        )
+    spark.append("</table>")
+    parts.append("<h4>the knee, at a glance</h4>")
+    parts.append("".join(spark))
+    return "".join(parts)
+
+
 def render_report(doc: Dict, title: Optional[str] = None,
-                  trend: Optional[Dict] = None) -> str:
+                  trend: Optional[Dict] = None,
+                  capacity: Optional[Dict] = None) -> str:
     """The full dashboard HTML for a validated bench doc.
 
     ``trend`` (a :func:`repro.obs.trend.trend_doc` document) adds the
     longitudinal section between the summary table and the
-    per-experiment sections.
+    per-experiment sections; ``capacity`` (a
+    :func:`repro.analysis.capacity.capacity_sweep` document) adds the
+    request-level capacity curves after it.
     """
     records = doc.get("experiments", [])
     summary = doc.get("summary", {})
@@ -474,6 +558,8 @@ def render_report(doc: Dict, title: Optional[str] = None,
     ]
     if trend is not None:
         parts.append(_trend_section(trend))
+    if capacity is not None:
+        parts.append(_capacity_section(capacity))
     for record in records:
         parts.append(_experiment_section(record))
     parts.append("</body></html>")

@@ -27,6 +27,12 @@ CURVE_COUNTERS = (
     "zombie_reclaimed",
 )
 
+#: Per-VSID detail kept per sample: the K heaviest VSIDs, everything
+#: else folded into one remainder bucket.  Bounds each occupancy tick
+#: at O(K) record size however many thousand contexts a service-scale
+#: run churns (the full per-VSID map would be O(distinct VSIDs)).
+VSID_TOP_K = 8
+
 
 class TimeSeriesSampler:
     """Snapshots monitor + HTAB state on a fixed simulated-time grid."""
@@ -68,6 +74,9 @@ class TimeSeriesSampler:
         )
         valid = live + zombie
         hottest = htab.hottest_bucket_load()
+        vsids = htab.top_vsid_loads(
+            VSID_TOP_K, self.kernel.vsid_allocator.is_live
+        )
         if machine.n_cpus > 1:
             counters = machine.monitor_totals()
         else:
@@ -81,6 +90,7 @@ class TimeSeriesSampler:
                 "valid": valid,
                 "occupancy": round(valid / htab.slots, 6),
                 "hottest_bucket": hottest,
+                "vsids": vsids,
             },
             "counters": counters,
         }
@@ -100,6 +110,17 @@ class TimeSeriesSampler:
                 name: counters.get(name, 0) for name in CURVE_COUNTERS
             }
             self.tracer.counter("monitor", curve)
+            rest = vsids["rest"]
+            self.tracer.counter(
+                "vsids",
+                {
+                    "top_entries": sum(
+                        entry["entries"] for entry in vsids["top"]
+                    ),
+                    "rest_entries": rest["entries"],
+                    "rest_zombie": rest["zombie_entries"],
+                },
+            )
 
     # -- export ----------------------------------------------------------------
 

@@ -31,8 +31,16 @@ action                 semantics                                result
 ("exit", code)         terminate                                —
 ("yield",)             round-robin reschedule                   None
 ("sleep", cycles)      sleep for a fixed time (think time)      None
+("sleep_until", c)     sleep to an absolute deadline cycle      None
 ("mark", label)        record a timestamp for the workload      None
 =====================  =======================================  =============
+
+``sleep_until`` is the open-loop arrival primitive: a dispatcher that
+must issue requests on a precomputed schedule sleeps to each absolute
+deadline, and when the deadline is already past (the system fell
+behind the offered load) it continues immediately instead of shifting
+the schedule — the coordinated-omission-free behaviour the service
+workload's latency accounting depends on.
 """
 
 from __future__ import annotations
@@ -280,6 +288,13 @@ class Executive:
             return "yield", None
         if kind == "sleep":
             wakeup = kernel.machine.clock.total + action[1]
+            return "sleep", (wakeup, None)
+        if kind == "sleep_until":
+            # Absolute deadline on this task's home-CPU clock.  A past
+            # deadline runs through immediately — the open-loop contract.
+            wakeup = action[1]
+            if wakeup <= kernel.machine.clock.total:
+                return "done", None
             return "sleep", (wakeup, None)
         if kind == "mark":
             self.marks[action[1]].append(kernel.machine.clock.total)

@@ -28,15 +28,15 @@ class TestFormatTable:
 
 
 class TestRegistry:
-    def test_all_nineteen_experiments_registered(self):
+    def test_all_twenty_one_experiments_registered(self):
         assert sorted(specs.SPECS) == sorted(
-            f"E{i}" for i in range(1, 20)
+            f"E{i}" for i in range(1, 22)
         )
 
     def test_sort_key_orders_numerically(self):
         ordered = sorted(specs.SPECS, key=experiment_sort_key)
         assert ordered[0] == "E1"
-        assert ordered[-1] == "E19"
+        assert ordered[-1] == "E21"
 
     def test_e1_runs_and_reports(self):
         result = engine.execute(specs.SPECS["E1"])

@@ -653,6 +653,16 @@ OBSERVATORY_FILES = {
             ("repro/obs/", "obs"),
         )
     """,
+    "obs/report.py": """\
+        CAPACITY_COLUMNS = ("offered_per_s", "latency_p99_us")
+    """,
+    "analysis/capacity.py": """\
+        CAPACITY_POINT_FIELDS = (
+            "offered_per_s",
+            "throughput_per_s",
+            "latency_p99_us",
+        )
+    """,
 }
 
 
@@ -697,6 +707,50 @@ class TestObservatoryClosure:
         (finding,) = result.findings
         assert "'reload_p42'" in finding.message
         assert "HEADLINE_FIELDS" in finding.message
+
+    def test_unrecorded_capacity_column_flagged(self, tmp_path):
+        files = dict(OBSERVATORY_FILES)
+        files["obs/report.py"] = """\
+            CAPACITY_COLUMNS = ("offered_per_s", "zombie_peak")
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        (finding,) = result.findings
+        assert finding.path == "obs/report.py"
+        assert "'zombie_peak'" in finding.message
+        assert "CAPACITY_POINT_FIELDS" in finding.message
+
+    def test_nonliteral_capacity_columns_flagged(self, tmp_path):
+        files = dict(OBSERVATORY_FILES)
+        files["obs/report.py"] = """\
+            CAPACITY_COLUMNS = tuple(["offered_per_s"])
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        (finding,) = result.findings
+        assert finding.path == "obs/report.py"
+        assert "literal tuple" in finding.message
+
+    def test_nonliteral_capacity_fields_flagged(self, tmp_path):
+        files = dict(OBSERVATORY_FILES)
+        files["analysis/capacity.py"] = """\
+            _BASE = ["offered_per_s"]
+            CAPACITY_POINT_FIELDS = tuple(_BASE)
+        """
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        (finding,) = result.findings
+        assert finding.path == "analysis/capacity.py"
+        assert "literal tuple" in finding.message
+
+    def test_capacity_module_absent_is_clean(self, tmp_path):
+        # The dashboard can exist before the sweep driver does; the
+        # subset check only engages once both registries are present.
+        files = dict(OBSERVATORY_FILES)
+        del files["analysis/capacity.py"]
+        result = run_lint(tmp_path, files,
+                          rules=single_rule("observatory-closure"))
+        assert result.findings == []
 
     def test_unregistered_flame_span_flagged(self, tmp_path):
         files = dict(OBSERVATORY_FILES)

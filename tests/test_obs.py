@@ -189,11 +189,13 @@ class TestTimeSeriesSampler:
         assert len(buckets) == len(set(buckets))
         first = sampler.samples[0]
         assert set(first["htab"]) == {
-            "live", "zombie", "valid", "occupancy", "hottest_bucket"
+            "live", "zombie", "valid", "occupancy", "hottest_bucket",
+            "vsids",
         }
         assert first["htab"]["valid"] == (
             first["htab"]["live"] + first["htab"]["zombie"]
         )
+        assert set(first["htab"]["vsids"]) == {"top", "rest"}
 
     def test_rejects_nonpositive_interval(self):
         sim = boot(M604_185, KernelConfig.optimized())

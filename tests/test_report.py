@@ -161,6 +161,88 @@ class TestTrendSection:
         assert "<script" not in html
 
 
+def fixture_capacity():
+    """A two-strategy, two-point capacity doc (no simulation needed)."""
+    from repro.analysis.capacity import (
+        CAPACITY_POINT_FIELDS,
+        CAPACITY_SCHEMA,
+    )
+
+    def point(offered, p99, zombies):
+        values = {
+            "offered_per_s": offered,
+            "throughput_per_s": min(offered, 4_000.0),
+            "completed": 40,
+            "latency_p50_us": p99 / 10,
+            "latency_p90_us": p99 / 2,
+            "latency_p99_us": p99,
+            "latency_p999_us": p99 * 1.1,
+            "queue_wait_p99_us": p99 / 3,
+            "queue_depth_max": 4,
+            "mmu_cycles_per_request": 900.0,
+            "zombie_peak": zombies,
+            "zombie_mean": zombies / 2,
+            "zombie_queue_correlation": 0.4,
+        }
+        assert set(values) == set(CAPACITY_POINT_FIELDS)
+        return values
+
+    return {
+        "schema": CAPACITY_SCHEMA,
+        "machine": "604 185MHz",
+        "n_cpus": 2,
+        "requests": 40,
+        "seed": 20,
+        "schedule": "exponential",
+        "workers_per_cpu": 3,
+        "loads": [2_000, 12_000],
+        "curves": [
+            {"strategy": "broadcast",
+             "points": [point(2_000, 300.0, 12),
+                        point(12_000, 9_000.0, 150)]},
+            {"strategy": "mmap_reuse",
+             "points": [point(2_000, 290.0, 40),
+                        point(12_000, 8_800.0, 460)]},
+        ],
+    }
+
+
+class TestCapacitySection:
+    def test_capacity_section_rendered(self):
+        html = report.render_report(
+            fixture_doc(), capacity=fixture_capacity()
+        )
+        assert 'id="capacity"' in html
+        assert "broadcast" in html and "mmap_reuse" in html
+        assert "scheduled" in html  # the open-loop note
+
+    def test_every_column_has_a_header(self):
+        html = report.render_report(
+            fixture_doc(), capacity=fixture_capacity()
+        )
+        for column in report.CAPACITY_COLUMNS:
+            title = report._CAPACITY_TITLES[column]
+            assert title in html or title.replace("↔", "&harr;") in html
+
+    def test_capacity_report_is_deterministic(self):
+        capacity = fixture_capacity()
+        assert report.render_report(fixture_doc(), capacity=capacity) == \
+            report.render_report(fixture_doc(), capacity=capacity)
+
+    def test_capacity_html_stays_self_contained(self):
+        html = report.render_report(
+            fixture_doc(), capacity=fixture_capacity()
+        )
+        assert "http" not in html
+        assert "<script" not in html
+
+    def test_empty_capacity_doc_renders_nothing(self):
+        html = report.render_report(
+            fixture_doc(), capacity={"curves": []}
+        )
+        assert 'id="capacity"' not in html
+
+
 def run_cli(*argv):
     return subprocess.run(
         [sys.executable, "-m", "repro", *argv],
@@ -238,3 +320,63 @@ class TestReportCli:
         proc = run_cli("report", "--from", str(doc_path),
                        "--out", str(tmp_path / "x.html"))
         assert proc.returncode != 0
+
+    def test_capacity_report_is_byte_deterministic(self, tmp_path):
+        cap_path = tmp_path / "capacity.json"
+        cap_path.write_text(json.dumps(fixture_capacity()))
+        doc_path = tmp_path / "bench.json"
+        doc_path.write_text(json.dumps(fixture_doc()))
+        outs = []
+        for name in ("a.html", "b.html"):
+            out = tmp_path / name
+            proc = run_cli("report", "--from", str(doc_path),
+                           "--capacity", str(cap_path), "--out", str(out))
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+            outs.append(out.read_bytes())
+        assert outs[0] == outs[1]
+        assert b'id="capacity"' in outs[0]
+
+    def test_corrupt_capacity_doc_is_an_error(self, tmp_path):
+        cap_path = tmp_path / "capacity.json"
+        cap_path.write_text(json.dumps({"schema": 99}))
+        doc_path = tmp_path / "bench.json"
+        doc_path.write_text(json.dumps(fixture_doc()))
+        proc = run_cli("report", "--from", str(doc_path),
+                       "--capacity", str(cap_path),
+                       "--out", str(tmp_path / "x.html"))
+        assert proc.returncode != 0
+
+
+class TestCapacityCli:
+    def test_sweep_prints_table_and_writes_doc(self, tmp_path):
+        out = tmp_path / "capacity.json"
+        proc = run_cli("capacity", "--requests", "16",
+                       "--loads", "2000", "12000", "--out", str(out))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "p99 knee" in proc.stdout
+        assert "broadcast" in proc.stdout and "mmap_reuse" in proc.stdout
+        doc = json.loads(out.read_text())
+        from repro.analysis.capacity import validate_capacity_doc
+
+        assert validate_capacity_doc(doc) == {"curves": 2, "points": 4}
+
+    def test_sweep_output_is_byte_deterministic(self, tmp_path):
+        outs = []
+        for _round in range(2):
+            proc = run_cli("capacity", "--requests", "16",
+                           "--loads", "2000", "12000", "--json")
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+
+    def test_bad_ladder_is_an_error(self):
+        proc = run_cli("capacity", "--requests", "8",
+                       "--loads", "9000", "1000")
+        assert proc.returncode == 2
+        assert "monotone" in proc.stderr
+
+    def test_unknown_strategy_is_an_error(self):
+        proc = run_cli("capacity", "--requests", "8",
+                       "--strategies", "smoke-signals")
+        assert proc.returncode == 2
+        assert "unknown strategy" in proc.stderr
